@@ -1,0 +1,47 @@
+/**
+ * Ablation: catch-word width vs collision interval. The paper uses the
+ * full transfer width (64 bits for x8, 32 for x4, Section IX-A); this
+ * sweep shows how quickly the collision interval collapses for
+ * narrower devices and why the re-randomization protocol (Section
+ * V-D3) matters for x4.
+ */
+
+#include <iostream>
+
+#include "analysis/collision.hh"
+#include "common/table.hh"
+
+using namespace xed;
+using namespace xed::analysis;
+
+int
+main()
+{
+    Table table({"Catch-word bits", "Mean time to collision",
+                 "P(collision in 7y)"});
+    for (const unsigned bits : {16u, 24u, 32u, 40u, 48u, 56u, 64u}) {
+        CollisionModel m;
+        m.catchWordBits = bits;
+        m.writeIntervalSeconds = paperEffectiveWriteIntervalSeconds;
+        const double years = m.meanYearsToCollision();
+        std::string mean;
+        if (years >= 1.0) {
+            mean = Table::sci(years, 2) + " years";
+        } else if (years * 365.25 >= 1.0) {
+            mean = Table::fmt(years * 365.25, 1) + " days";
+        } else {
+            mean = Table::fmt(years * 365.25 * 24.0, 2) + " hours";
+        }
+        table.addRow({std::to_string(bits), mean,
+                      Table::sci(m.probCollisionWithinYears(7.0), 2)});
+    }
+    table.print(std::cout,
+                "Ablation: catch-word width vs collision interval "
+                "(paper-effective write cadence)");
+    std::cout << "\nAt 64 bits a collision is a once-per-millions-of-"
+                 "years event; at 32 bits (x4 devices) it happens every "
+                 "few hours -- still harmless, because XED detects the "
+                 "collision and re-randomizes the catch-word in a few "
+                 "hundred nanoseconds (Section IX-A).\n";
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * Ablation: strength of the on-die detection code (ties Table II to
+ * the reliability results). XED's DUE rate scales with the probability
+ * that a multi-bit error aliases to a valid on-die codeword -- ~0.78%
+ * for random even-weight patterns with either code, but ~25% for a
+ * burst-biased error mix under naturally-ordered Hamming (which misses
+ * half of all 4/8-bursts), versus still ~0.78% under CRC8-ATM. This is
+ * the quantitative version of the paper's Section V-E recommendation.
+ */
+
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+#include "faultsim/engine.hh"
+
+using namespace xed;
+using namespace xed::faultsim;
+
+int
+main()
+{
+    McConfig cfg;
+    cfg.systems = bench::mcSystems();
+    cfg.seed = 0xAB1C;
+
+    struct Row
+    {
+        const char *label;
+        double escapeProb;
+    };
+    const Row rows[] = {
+        {"CRC8-ATM (paper choice, 0.8% escape)", 0.008},
+        {"Hamming, random-error mix (1.0%)", 0.010},
+        {"Hamming, burst-heavy mix (10%)", 0.10},
+        {"Hamming, pure 4/8-burst mix (25%)", 0.25},
+        {"parity-only detection (50%)", 0.50},
+    };
+
+    Table table({"On-die code / escape probability", "XED P(fail,7y)",
+                 "due-word-fault share"});
+    for (const auto &row : rows) {
+        OnDieOptions onDie;
+        onDie.detectionEscapeProb = row.escapeProb;
+        const auto result =
+            runMonteCarlo(*makeScheme(SchemeKind::Xed, onDie), cfg);
+        const auto due = result.failureTypes.get("due-word-fault");
+        const auto total = result.failureTypes.get("due-word-fault") +
+                           result.failureTypes.get(
+                               "multi-chip-data-loss");
+        table.addRow({row.label, Table::sci(result.probFailure(), 2),
+                      total ? Table::pct(static_cast<double>(due) /
+                                             static_cast<double>(total),
+                                         1)
+                            : std::string("n/a")});
+    }
+    table.print(std::cout,
+                "Ablation: on-die detection strength vs XED "
+                "reliability (" + std::to_string(cfg.systems) +
+                " systems/row)");
+    std::cout
+        << "\nWith the paper's CRC8-ATM, word-fault DUEs stay an order "
+           "of magnitude below multi-chip data loss (two orders per "
+           "rank, Table IV); with a weak (burst-blind) code they "
+           "become the dominant failure source -- the reliability "
+           "argument behind recommending CRC8-ATM for on-die ECC.\n";
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * Ablation: patrol scrubbing (the "repair" half of a fault-and-repair
+ * simulator). The paper lets faults accumulate for the full 7 years;
+ * this ablation shows how much of XED's residual multi-chip data-loss
+ * probability is attributable to *transient* fault accumulation that a
+ * patrol scrubber would heal.
+ */
+
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+#include "faultsim/engine.hh"
+
+using namespace xed;
+using namespace xed::faultsim;
+
+int
+main()
+{
+    McConfig cfg;
+    cfg.systems = bench::mcSystems();
+    cfg.seed = 0xAB1A;
+
+    struct Row
+    {
+        const char *label;
+        double hours;
+    };
+    const Row rows[] = {
+        {"no scrubbing (paper model)", 0},
+        {"monthly scrub", 30.4 * 24},
+        {"weekly scrub", 7 * 24},
+        {"daily scrub", 24},
+    };
+
+    Table table({"Scrub interval", "XED P(fail,7y)",
+                 "Chipkill P(fail,7y)", "SECDED P(fail,7y)"});
+    for (const auto &row : rows) {
+        cfg.scrubIntervalHours = row.hours;
+        const auto xed =
+            runMonteCarlo(*makeScheme(SchemeKind::Xed, {}), cfg);
+        const auto ck =
+            runMonteCarlo(*makeScheme(SchemeKind::Chipkill, {}), cfg);
+        const auto secded =
+            runMonteCarlo(*makeScheme(SchemeKind::Secded, {}), cfg);
+        table.addRow({row.label, Table::sci(xed.probFailure(), 2),
+                      Table::sci(ck.probFailure(), 2),
+                      Table::sci(secded.probFailure(), 2)});
+    }
+    table.print(std::cout,
+                "Ablation: patrol scrubbing vs fault accumulation (" +
+                    std::to_string(cfg.systems) + " systems/cell)");
+    std::cout << "\nScrubbing trims the transient contribution to "
+                 "multi-chip combinations; permanent faults (the "
+                 "majority of the large-granularity FIT budget) are "
+                 "unaffected, as is SECDED's single-fault failure "
+                 "mode.\n";
+    return 0;
+}

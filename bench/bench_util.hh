@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Shared helpers for the reproduction harnesses: environment-variable
+ * scaling knobs and common formatting.
+ *
+ * Every bench accepts:
+ *   XED_MC_SYSTEMS  -- Monte-Carlo systems per scheme (reliability)
+ *   XED_PERF_OPS    -- memory ops per core (performance)
+ * so the full-fidelity (paper-scale) runs are one env var away.
+ */
+
+#ifndef XED_BENCH_BENCH_UTIL_HH
+#define XED_BENCH_BENCH_UTIL_HH
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace xed::bench
+{
+
+inline std::uint64_t
+envScale(const char *name, std::uint64_t fallback)
+{
+    if (const char *value = std::getenv(name)) {
+        const auto parsed = std::strtoull(value, nullptr, 10);
+        if (parsed > 0)
+            return parsed;
+    }
+    return fallback;
+}
+
+inline std::uint64_t
+mcSystems(std::uint64_t fallback = 1000000)
+{
+    return envScale("XED_MC_SYSTEMS", fallback);
+}
+
+inline std::uint64_t
+perfOps(std::uint64_t fallback = 8000)
+{
+    return envScale("XED_PERF_OPS", fallback);
+}
+
+} // namespace xed::bench
+
+#endif // XED_BENCH_BENCH_UTIL_HH

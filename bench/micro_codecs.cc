@@ -1,0 +1,154 @@
+/**
+ * google-benchmark microbenchmarks for the data-path primitives: the
+ * (72,64) on-die codecs (the paper budgets 1-2 DRAM-internal cycles for
+ * them, Section V-E), the Reed-Solomon symbol codes, RAID-3 parity
+ * reconstruction, and the full XED controller read path.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <array>
+
+#include "common/rng.hh"
+#include "ecc/crc8atm.hh"
+#include "ecc/hamming7264.hh"
+#include "ecc/parity_raid3.hh"
+#include "ecc/reed_solomon.hh"
+#include "xed/controller.hh"
+
+using namespace xed;
+using namespace xed::ecc;
+
+namespace
+{
+
+void
+BM_HammingEncode(benchmark::State &state)
+{
+    Hamming7264 code;
+    Rng rng(1);
+    std::uint64_t data = rng.next();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(code.encode(data));
+        data += 0x9E3779B97F4A7C15ull;
+    }
+}
+BENCHMARK(BM_HammingEncode);
+
+void
+BM_HammingDecodeClean(benchmark::State &state)
+{
+    Hamming7264 code;
+    const Word72 word = code.encode(0xDEADBEEF12345678ull);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(code.decode(word));
+}
+BENCHMARK(BM_HammingDecodeClean);
+
+void
+BM_Crc8AtmEncode(benchmark::State &state)
+{
+    Crc8Atm code;
+    Rng rng(2);
+    std::uint64_t data = rng.next();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(code.encode(data));
+        data += 0x9E3779B97F4A7C15ull;
+    }
+}
+BENCHMARK(BM_Crc8AtmEncode);
+
+void
+BM_Crc8AtmDecodeCorrecting(benchmark::State &state)
+{
+    Crc8Atm code;
+    Word72 word = code.encode(0xDEADBEEF12345678ull);
+    word.flip(17);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(code.decode(word));
+}
+BENCHMARK(BM_Crc8AtmDecodeCorrecting);
+
+void
+BM_Raid3Reconstruct(benchmark::State &state)
+{
+    Rng rng(3);
+    std::array<std::uint64_t, 8> words{};
+    for (auto &w : words)
+        w = rng.next();
+    const auto parity = computeParity(words);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(reconstructErased(words, parity, 3));
+}
+BENCHMARK(BM_Raid3Reconstruct);
+
+void
+BM_Rs1816EncodeBeat(benchmark::State &state)
+{
+    ReedSolomon rs(18, 16);
+    Rng rng(4);
+    std::vector<std::uint8_t> data(16);
+    for (auto &d : data)
+        d = static_cast<std::uint8_t>(rng.below(256));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rs.encode(data));
+}
+BENCHMARK(BM_Rs1816EncodeBeat);
+
+void
+BM_Rs1816ErasureDecodeBeat(benchmark::State &state)
+{
+    ReedSolomon rs(18, 16);
+    Rng rng(5);
+    std::vector<std::uint8_t> data(16);
+    for (auto &d : data)
+        d = static_cast<std::uint8_t>(rng.below(256));
+    const auto clean = rs.encode(data);
+    for (auto _ : state) {
+        auto word = clean;
+        word[3] ^= 0x5A;
+        word[9] ^= 0xC3;
+        benchmark::DoNotOptimize(rs.decode(word, {3u, 9u}));
+    }
+}
+BENCHMARK(BM_Rs1816ErasureDecodeBeat);
+
+void
+BM_XedControllerCleanRead(benchmark::State &state)
+{
+    XedController ctrl;
+    Rng rng(6);
+    std::array<std::uint64_t, 8> line{};
+    for (auto &w : line)
+        w = rng.next();
+    const dram::WordAddr addr{0, 1, 2};
+    ctrl.writeLine(addr, line);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ctrl.readLine(addr));
+}
+BENCHMARK(BM_XedControllerCleanRead);
+
+void
+BM_XedControllerErasureRead(benchmark::State &state)
+{
+    XedController ctrl;
+    Rng rng(7);
+    std::array<std::uint64_t, 8> line{};
+    for (auto &w : line)
+        w = rng.next();
+    const dram::WordAddr addr{0, 1, 3};
+    ctrl.writeLine(addr, line);
+    dram::Fault f;
+    f.granularity = dram::FaultGranularity::SingleBit;
+    f.permanent = true;
+    f.addr = addr;
+    f.bitPos = 9;
+    ctrl.chip(4).faults().add(f);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ctrl.readLine(addr));
+}
+BENCHMARK(BM_XedControllerErasureRead);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+/**
+ * Table II: detection rate of random and burst errors for the (72,64)
+ * Hamming and CRC8-ATM codes. "Detection" means the corrupted word is
+ * not a valid codeword, i.e. the on-die engine notices *something* and
+ * XED's DC-Mux emits the catch-word.
+ */
+
+#include <iostream>
+#include <memory>
+
+#include "bench/bench_util.hh"
+#include "common/rng.hh"
+#include "common/table.hh"
+#include "ecc/crc8atm.hh"
+#include "ecc/error_patterns.hh"
+#include "ecc/hamming7264.hh"
+
+using namespace xed;
+using namespace xed::ecc;
+
+namespace
+{
+
+double
+detectionRate(const Secded7264 &code, bool burst, unsigned weight,
+              std::uint64_t trials)
+{
+    Rng rng(0xAB2 + weight + (burst ? 100 : 0));
+    const Word72 clean = code.encode(0x0123456789ABCDEFull);
+    std::uint64_t detected = 0;
+    for (std::uint64_t i = 0; i < trials; ++i) {
+        const Word72 error = burst ? solidBurstPattern(rng, weight)
+                                   : randomPattern(rng, weight);
+        if (!code.isValidCodeword(clean ^ error))
+            ++detected;
+    }
+    return static_cast<double>(detected) / static_cast<double>(trials);
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::uint64_t trials =
+        bench::envScale("XED_TRIALS", 200000);
+    Hamming7264 hamming;
+    Crc8Atm crc;
+
+    Table table({"Errors", "Hamming Random", "Hamming Burst",
+                 "CRC8-ATM Random", "CRC8-ATM Burst"});
+    for (unsigned k = 1; k <= 8; ++k) {
+        table.addRow({std::to_string(k),
+                      Table::pct(detectionRate(hamming, false, k, trials)),
+                      Table::pct(detectionRate(hamming, true, k, trials)),
+                      Table::pct(detectionRate(crc, false, k, trials)),
+                      Table::pct(detectionRate(crc, true, k, trials))});
+    }
+    table.print(std::cout,
+                "Table II: detection rate of random and burst errors, "
+                "(72,64) codes (" + std::to_string(trials) +
+                " trials/cell)");
+    std::cout << "\nPaper: Hamming burst-4/8 ~50.7%, CRC8-ATM 100% on "
+                 "all bursts, ~99.2% on even random errors.\n";
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * Table IV: SDC and DUE rates of XED -- the closed-form vulnerability
+ * model next to a Monte-Carlo cross-check of the dominant (multi-chip
+ * data loss) term.
+ */
+
+#include <iostream>
+
+#include "analysis/sdc_due.hh"
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+#include "faultsim/engine.hh"
+
+using namespace xed;
+using namespace xed::analysis;
+
+int
+main()
+{
+    XedVulnerabilityModel model;
+
+    Table table({"Source of Vulnerability", "Rate over 7 years",
+                 "Paper"});
+    table.addRow({"XED: scaling-related faults", "no SDC or DUE",
+                  "no SDC or DUE"});
+    table.addRow({"XED: row/column/bank failure (SDC)",
+                  Table::sci(model.sdcRatePerRank(), 1), "1.4e-13"});
+    table.addRow({"XED: word failure (DUE, per rank)",
+                  Table::sci(model.dueRatePerRank(), 1), "6.1e-6"});
+    table.addRow({"Data loss from multi-chip failures",
+                  Table::sci(model.multiChipDataLossProb(), 1),
+                  "5.8e-4"});
+    table.print(std::cout, "Table IV: SDC and DUE rates of XED "
+                           "(closed form)");
+
+    std::cout << "\nSupporting quantities:\n"
+              << "  P(transient word fault, 9 chips, 7y) = "
+              << Table::sci(model.transientWordFaultProbPerRank(), 2)
+              << "  (paper: 7.7e-4)\n"
+              << "  P(inter-line misdiagnosis per row)   = "
+              << Table::sci(model.misdiagnosisProbPerRow(), 2)
+              << "  (paper: ~1e-12)\n";
+
+    // Monte-Carlo cross-check of the dominant term.
+    faultsim::McConfig cfg;
+    cfg.systems = bench::mcSystems();
+    cfg.seed = 0x7AB4;
+    const auto scheme = faultsim::makeScheme(faultsim::SchemeKind::Xed,
+                                             {});
+    const auto mc = faultsim::runMonteCarlo(*scheme, cfg);
+    const double dataLoss =
+        static_cast<double>(
+            mc.failureTypes.get("multi-chip-data-loss")) /
+        static_cast<double>(cfg.systems);
+    const double due =
+        static_cast<double>(mc.failureTypes.get("due-word-fault")) /
+        static_cast<double>(cfg.systems);
+    std::cout << "\nMonte-Carlo cross-check ("
+              << cfg.systems << " systems):\n"
+              << "  multi-chip data loss = " << Table::sci(dataLoss, 2)
+              << "  (analytic " << Table::sci(
+                     model.multiChipDataLossProb(), 2)
+              << ")\n"
+              << "  word-fault DUE (8 ranks) = " << Table::sci(due, 2)
+              << "  (analytic " << Table::sci(
+                     8.0 * model.dueRatePerRank(), 2)
+              << ")\n";
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * Performance comparison: one workload across every protection mode on
+ * the USIMM-style memory-system simulator.
+ *
+ * Usage: ./perf_comparison [workload] [mem-ops-per-core]
+ *   workload  one of the paper's 31 benchmarks (default libquantum);
+ *             pass "list" to enumerate them.
+ *
+ * Prints absolute cycles, execution time and memory power plus values
+ * normalized to the ECC-DIMM SECDED baseline (the Figures 11/12 view
+ * for one benchmark).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "perfsim/system.hh"
+
+using namespace xed;
+using namespace xed::perfsim;
+
+int
+main(int argc, char **argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "libquantum";
+    if (name == "list") {
+        for (const auto &w : paperWorkloads())
+            std::printf("%-12s %-10s mpki=%5.1f rowhit=%.2f wf=%.2f "
+                        "mlp=%u\n",
+                        w.name.c_str(), suiteName(w.suite), w.mpki,
+                        w.rowHitRate, w.writeFraction, w.mlp);
+        return 0;
+    }
+
+    PerfConfig cfg;
+    cfg.memOpsPerCore =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 12000;
+
+    const Workload &workload = workloadByName(name);
+    std::printf("workload %s (%s): mpki=%.1f rowhit=%.2f wf=%.2f "
+                "mlp=%u; 8 cores, %llu ops/core\n\n",
+                workload.name.c_str(), suiteName(workload.suite),
+                workload.mpki, workload.rowHitRate,
+                workload.writeFraction, workload.mlp,
+                static_cast<unsigned long long>(cfg.memOpsPerCore));
+
+    const auto baseline =
+        simulate(workload, ProtectionMode::SecdedBaseline, cfg);
+    std::printf("%-36s %12s %10s %9s %9s\n", "mode", "cycles",
+                "power(W)", "exec(x)", "power(x)");
+
+    const ProtectionMode modes[] = {
+        ProtectionMode::SecdedBaseline,
+        ProtectionMode::Xed,
+        ProtectionMode::Chipkill,
+        ProtectionMode::XedChipkill,
+        ProtectionMode::DoubleChipkill,
+        ProtectionMode::ChipkillExtraBurst,
+        ProtectionMode::ChipkillExtraTransaction,
+        ProtectionMode::LotEcc,
+    };
+    for (const auto mode : modes) {
+        const auto run = simulate(workload, mode, cfg);
+        std::printf("%-36s %12llu %10.2f %9.3f %9.3f\n",
+                    run.mode.c_str(),
+                    static_cast<unsigned long long>(run.cycles),
+                    run.memoryPowerWatts(),
+                    static_cast<double>(run.cycles) /
+                        static_cast<double>(baseline.cycles),
+                    run.memoryPowerWatts() /
+                        baseline.memoryPowerWatts());
+    }
+    return 0;
+}

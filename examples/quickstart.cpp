@@ -1,0 +1,68 @@
+/**
+ * Quickstart: the XED data path in a dozen lines.
+ *
+ * Builds one 9-chip XED rank (8 data chips + RAID-3 parity chip, each
+ * chip carrying (72,64) CRC8-ATM on-die ECC), writes a cache line,
+ * breaks one chip, and shows the catch-word/erasure recovery of
+ * Section V of the paper.
+ *
+ * Run: ./quickstart
+ */
+
+#include <array>
+#include <cstdio>
+
+#include "xed/controller.hh"
+
+int
+main()
+{
+    using namespace xed;
+
+    XedController rank; // 9 chips, XED-Enable set, catch-words agreed
+
+    // Write a 64-byte cache line: one 64-bit word per data chip.
+    const dram::WordAddr line{/*bank=*/0, /*row=*/42, /*col=*/7};
+    std::array<std::uint64_t, 8> data{1, 2, 3, 4, 5, 6, 7, 8};
+    rank.writeLine(line, data);
+
+    // A clean read returns the data with no correction activity.
+    auto clean = rank.readLine(line);
+    std::printf("clean read : outcome=Clean data[0..7] =");
+    for (const auto w : clean.data)
+        std::printf(" %llu", static_cast<unsigned long long>(w));
+    std::printf("\n");
+
+    // Now chip 3 suffers a multi-bit word failure. Its on-die ECC
+    // detects the invalid codeword and the DC-Mux transmits the
+    // catch-word instead of data (Figure 3 of the paper).
+    dram::Fault fault;
+    fault.granularity = dram::FaultGranularity::SingleWord;
+    fault.permanent = true;
+    fault.addr = line;
+    fault.seed = 0xBAD;
+    rank.chip(3).faults().add(fault);
+
+    auto repaired = rank.readLine(line);
+    std::printf("faulty read: catch-word from chip %u, rebuilt via "
+                "parity -> data[3] = %llu (outcome %s)\n",
+                repaired.catchWordChips.empty()
+                    ? 99u
+                    : repaired.catchWordChips[0],
+                static_cast<unsigned long long>(repaired.data[3]),
+                repaired.outcome == ReadOutcome::CorrectedErasure
+                    ? "CorrectedErasure"
+                    : "other");
+
+    const bool ok = repaired.data == data;
+    std::printf("recovered line matches original: %s\n",
+                ok ? "yes" : "NO");
+    std::printf("counters: reads=%llu rebuilds=%llu catch-words=%llu\n",
+                static_cast<unsigned long long>(
+                    rank.counters().get("reads")),
+                static_cast<unsigned long long>(
+                    rank.counters().get("rebuilds")),
+                static_cast<unsigned long long>(
+                    rank.counters().get("single_catch_word")));
+    return ok ? 0 : 1;
+}

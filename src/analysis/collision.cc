@@ -1,0 +1,52 @@
+#include "analysis/collision.hh"
+
+#include <cmath>
+
+#include "common/units.hh"
+
+namespace xed::analysis
+{
+
+double
+CollisionModel::perWriteProbability() const
+{
+    return std::pow(2.0, -static_cast<double>(catchWordBits));
+}
+
+double
+CollisionModel::meanSecondsToCollision() const
+{
+    return writeIntervalSeconds / perWriteProbability();
+}
+
+double
+CollisionModel::meanYearsToCollision() const
+{
+    return meanSecondsToCollision() / (hoursPerYear * 3600.0);
+}
+
+double
+CollisionModel::probCollisionWithinYears(double years) const
+{
+    return 1.0 - std::exp(-years / meanYearsToCollision());
+}
+
+CollisionModel
+paperX8Model()
+{
+    return {64, paperEffectiveWriteIntervalSeconds};
+}
+
+CollisionModel
+paperX4Model()
+{
+    return {32, paperEffectiveWriteIntervalSeconds};
+}
+
+CollisionModel
+raw4nsX8Model()
+{
+    return {64, 4e-9};
+}
+
+} // namespace xed::analysis

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Analytical model of catch-word/data collisions (Section V-D,
+ * Figure 6).
+ *
+ * Every write has probability 2^-w (w = catch-word width) of storing a
+ * value equal to the catch-word; collisions over time follow a Poisson
+ * process, so P(collision within t) = 1 - exp(-t / MTTC).
+ *
+ * Note on the paper's numbers: with a write every 4ns, 2^64 writes take
+ * ~2,339 years, yet the paper reports a mean of 3.2 million years for
+ * x8 (and 6.6 hours for x4). Both of the paper's values back-solve to
+ * the *same* effective interval between distinct-value writes of one
+ * chip, ~5.48us; we expose the interval as a parameter and provide both
+ * the raw-4ns and the paper-effective models. See EXPERIMENTS.md.
+ */
+
+#ifndef XED_ANALYSIS_COLLISION_HH
+#define XED_ANALYSIS_COLLISION_HH
+
+namespace xed::analysis
+{
+
+struct CollisionModel
+{
+    /** Catch-word width: 64 for x8 devices, 32 for x4 (Section IX-A). */
+    unsigned catchWordBits = 64;
+    /** Mean time between distinct-value writes reaching one chip. */
+    double writeIntervalSeconds = 4e-9;
+
+    /** Probability that one write collides with the catch-word. */
+    double perWriteProbability() const;
+
+    /** Mean time to collision, in seconds / years. */
+    double meanSecondsToCollision() const;
+    double meanYearsToCollision() const;
+
+    /** P(at least one collision within @p years). */
+    double probCollisionWithinYears(double years) const;
+};
+
+/**
+ * The effective write interval implied by the paper's "once every 3.2
+ * million years" (x8) and "6.6 hours" (x4) figures: both give ~5.48us.
+ */
+constexpr double paperEffectiveWriteIntervalSeconds = 5.48e-6;
+
+/** Convenience: the model as parameterized in the paper. */
+CollisionModel paperX8Model();
+CollisionModel paperX4Model();
+/** The literal reading: a 64-bit write every 4ns. */
+CollisionModel raw4nsX8Model();
+
+} // namespace xed::analysis
+
+#endif // XED_ANALYSIS_COLLISION_HH

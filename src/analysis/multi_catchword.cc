@@ -1,0 +1,38 @@
+#include "analysis/multi_catchword.hh"
+
+#include <cmath>
+
+namespace xed::analysis
+{
+
+double
+probWordHasScalingFault(double scalingRate)
+{
+    return 1.0 - std::pow(1.0 - scalingRate, 64.0);
+}
+
+double
+probMultipleCatchWords(double scalingRate, unsigned chips)
+{
+    const double p = probWordHasScalingFault(scalingRate);
+    const double n = static_cast<double>(chips);
+    const double none = std::pow(1.0 - p, n);
+    const double one = n * p * std::pow(1.0 - p, n - 1.0);
+    return 1.0 - none - one;
+}
+
+double
+paperTable3Value(double scalingRate)
+{
+    const double p = 64.0 * scalingRate;
+    return p * p / 2.0;
+}
+
+double
+accessesBetweenMultiCatchWords(double scalingRate, unsigned chips)
+{
+    const double p = probMultipleCatchWords(scalingRate, chips);
+    return p > 0 ? 1.0 / p : 0.0;
+}
+
+} // namespace xed::analysis

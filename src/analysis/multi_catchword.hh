@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Likelihood of receiving multiple catch-words in one access (Section
+ * VII-A, Table III). An access reads one 64-bit word from each of the 9
+ * chips; each word carries a scaling fault (and thus triggers a
+ * catch-word) with probability 1-(1-r)^64.
+ */
+
+#ifndef XED_ANALYSIS_MULTI_CATCHWORD_HH
+#define XED_ANALYSIS_MULTI_CATCHWORD_HH
+
+namespace xed::analysis
+{
+
+/** P(a 64-bit word contains at least one scaling-faulty bit). */
+double probWordHasScalingFault(double scalingRate);
+
+/**
+ * P(>= 2 of the @p chips send a catch-word in one access): the exact
+ * binomial complement.
+ */
+double probMultipleCatchWords(double scalingRate, unsigned chips = 9);
+
+/**
+ * The closed form the paper's Table III reports: (64 r)^2 / 2, i.e. the
+ * per-pair probability without the chip-pair count. Kept so the
+ * reproduction can print the paper's own numbers next to the exact
+ * model.
+ */
+double paperTable3Value(double scalingRate);
+
+/** Expected accesses between serial-mode episodes (1/p). */
+double accessesBetweenMultiCatchWords(double scalingRate,
+                                      unsigned chips = 9);
+
+} // namespace xed::analysis
+
+#endif // XED_ANALYSIS_MULTI_CATCHWORD_HH

@@ -1,0 +1,117 @@
+#include "analysis/sdc_due.hh"
+
+#include <cmath>
+
+#include "analysis/multi_catchword.hh"
+#include "common/units.hh"
+
+namespace xed::analysis
+{
+
+using faultsim::FaultKind;
+
+double
+binomialTail(unsigned n, double p, unsigned k)
+{
+    if (k == 0)
+        return 1.0;
+    if (p <= 0)
+        return 0.0;
+    // Sum P(X = i) for i = k..n using log-space terms.
+    long double tail = 0.0L;
+    const long double logP = std::log(static_cast<long double>(p));
+    const long double logQ = std::log(1.0L - static_cast<long double>(p));
+    long double logChoose = 0.0L; // log C(n, 0)
+    for (unsigned i = 1; i <= k; ++i)
+        logChoose += std::log(static_cast<long double>(n - i + 1)) -
+                     std::log(static_cast<long double>(i));
+    for (unsigned i = k; i <= n; ++i) {
+        tail += std::exp(logChoose + logP * i + logQ * (n - i));
+        if (i < n)
+            logChoose += std::log(static_cast<long double>(n - i)) -
+                         std::log(static_cast<long double>(i + 1));
+    }
+    return static_cast<double>(tail);
+}
+
+double
+XedVulnerabilityModel::transientWordFaultProbPerRank() const
+{
+    const double hours = years * hoursPerYear;
+    return chipsPerRank * fit.entry(FaultKind::Word).transient * 1e-9 *
+           hours;
+}
+
+double
+XedVulnerabilityModel::dueRatePerRank() const
+{
+    return transientWordFaultProbPerRank() * detectionEscapeProb;
+}
+
+double
+XedVulnerabilityModel::misdiagnosisProbPerRow() const
+{
+    const double perLine = probWordHasScalingFault(scalingRate);
+    const unsigned threshold = static_cast<unsigned>(
+        std::ceil(interLineThreshold * linesPerRow));
+    return binomialTail(linesPerRow, perLine, threshold);
+}
+
+double
+XedVulnerabilityModel::sdcRatePerRank() const
+{
+    // Paper recipe: P(any large-granularity failure in the system that
+    // triggers Inter-Line diagnosis) x P(misdiagnosis).
+    const double hours = years * hoursPerYear;
+    const double largeFit = fit.entry(FaultKind::Word).total() +
+                            fit.entry(FaultKind::Column).total() +
+                            fit.entry(FaultKind::Row).total() +
+                            fit.entry(FaultKind::Bank).total() +
+                            fit.entry(FaultKind::MultiBank).total() +
+                            fit.entry(FaultKind::MultiRank).total();
+    const double pLarge =
+        chipsPerRank * ranks * largeFit * 1e-9 * hours;
+    return pLarge * misdiagnosisProbPerRow();
+}
+
+double
+XedVulnerabilityModel::multiChipDataLossProb() const
+{
+    const double hours = years * hoursPerYear;
+    const auto lambda = [&](double fitRate) {
+        return fitRate * 1e-9 * hours;
+    };
+    // Multi-bit-per-word kinds that consume the single-erasure budget.
+    const double w = lambda(fit.entry(FaultKind::Word).total());
+    const double r = lambda(fit.entry(FaultKind::Row).total());
+    const double b = lambda(fit.entry(FaultKind::Bank).total());
+    // A multi-rank event lands a whole-chip fault in *every* rank of
+    // the DIMM, so a given chip sees chip-level faults at the
+    // multi-bank rate plus twice the multi-rank rate (its own events
+    // and its partner chip's).
+    const double c = lambda(fit.entry(FaultKind::MultiBank).total() +
+                            2.0 * fit.entry(FaultKind::MultiRank).total());
+
+    // Word-overlap probabilities for two independent uniform ranges
+    // (Table V geometry: 8 banks, 32K rows, 128 cols).
+    const double banks = 8, rows = 32768, cols = 128;
+    const double oWW = 1.0 / (banks * rows * cols);
+    const double oWR = 1.0 / (banks * rows);
+    const double oWB = 1.0 / banks;
+    const double oRR = 1.0 / (banks * rows);
+    const double oRB = 1.0 / banks;
+    const double oBB = 1.0 / banks;
+
+    // P(two specific chips have word-sharing faults): sum over ordered
+    // kind combinations of the two chips.
+    const double pPair =
+        w * w * oWW + 2 * w * r * oWR + 2 * w * b * oWB + 2 * w * c +
+        r * r * oRR + 2 * r * b * oRB + 2 * r * c + b * b * oBB +
+        2 * b * c + c * c;
+
+    const double pairsPerRank =
+        chipsPerRank * (chipsPerRank - 1) / 2.0;
+    return ranks * pairsPerRank * pPair;
+}
+
+} // namespace xed::analysis

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Closed-form SDC/DUE model for XED (Section VIII, Table IV).
+ *
+ * The three vulnerability sources:
+ *  - DUE from transient word faults: the fault escapes on-die detection
+ *    (0.8%) and both diagnosis passes fail (transient faults leave no
+ *    trace for the Intra-Line probe).
+ *  - SDC from Inter-Line misdiagnosis: under scaling faults, a healthy
+ *    chip can exceed the 10%-of-row catch-word threshold.
+ *  - Data loss from multi-chip failures (the residual the scheme is not
+ *    designed to correct; dominates overall).
+ */
+
+#ifndef XED_ANALYSIS_SDC_DUE_HH
+#define XED_ANALYSIS_SDC_DUE_HH
+
+#include "faultsim/fit_rates.hh"
+
+namespace xed::analysis
+{
+
+struct XedVulnerabilityModel
+{
+    faultsim::FitTable fit{};
+    double years = 7.0;
+    unsigned chipsPerRank = 9;
+    unsigned ranks = 8; ///< 4 channels x 2 ranks (Table V)
+    double detectionEscapeProb = 0.008;
+    double scalingRate = 1e-4;
+    unsigned linesPerRow = 128;
+    double interLineThreshold = 0.10;
+
+    /** P(some chip of one rank takes a transient word fault), ~7.7e-4. */
+    double transientWordFaultProbPerRank() const;
+
+    /** Table IV "Word Failure (DUE)": ~6.1e-6 per rank over 7 years. */
+    double dueRatePerRank() const;
+
+    /**
+     * P(a row of a healthy chip shows >= threshold catch-word lines due
+     * to scaling faults alone) -- the per-diagnosis misdiagnosis
+     * probability (~1e-12 at scaling 1e-4).
+     */
+    double misdiagnosisProbPerRow() const;
+
+    /** Table IV "Row/Column/Bank Failure (SDC)": ~1.4e-13. */
+    double sdcRatePerRank() const;
+
+    /**
+     * Analytic estimate of the multi-chip data-loss probability for the
+     * whole system (Table IV: 5.8e-4): sum over chip pairs of the
+     * product of multi-bit fault rates weighted by the probability
+     * their ranges share a word.
+     */
+    double multiChipDataLossProb() const;
+};
+
+/** Binomial tail P(X >= k), X ~ Binomial(n, p); numerically stable. */
+double binomialTail(unsigned n, double p, unsigned k);
+
+} // namespace xed::analysis
+
+#endif // XED_ANALYSIS_SDC_DUE_HH

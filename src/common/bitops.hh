@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Bit-manipulation helpers shared by the ECC codecs, the DRAM model and
+ * the fault simulator.
+ */
+
+#ifndef XED_COMMON_BITOPS_HH
+#define XED_COMMON_BITOPS_HH
+
+#include <bit>
+#include <cstdint>
+#include <cstddef>
+
+namespace xed
+{
+
+/** Population count of a 64-bit value. */
+inline int
+popcount64(std::uint64_t v)
+{
+    return std::popcount(v);
+}
+
+/** Parity (XOR-reduction) of a 64-bit value: 1 if an odd number of bits. */
+inline int
+parity64(std::uint64_t v)
+{
+    return std::popcount(v) & 1;
+}
+
+/** Extract bit @p pos (0 = LSB) of @p v. */
+inline int
+getBit(std::uint64_t v, unsigned pos)
+{
+    return static_cast<int>((v >> pos) & 1u);
+}
+
+/** Return @p v with bit @p pos set to @p bit. */
+inline std::uint64_t
+setBit(std::uint64_t v, unsigned pos, int bit)
+{
+    const std::uint64_t mask = std::uint64_t{1} << pos;
+    return bit ? (v | mask) : (v & ~mask);
+}
+
+/** Return @p v with bit @p pos flipped. */
+inline std::uint64_t
+flipBit(std::uint64_t v, unsigned pos)
+{
+    return v ^ (std::uint64_t{1} << pos);
+}
+
+/** A mask with the low @p n bits set (n in [0,64]). */
+inline std::uint64_t
+lowMask(unsigned n)
+{
+    return n >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+}
+
+/** Extract the bit-field [lsb, lsb+width) of @p v. */
+inline std::uint64_t
+bitField(std::uint64_t v, unsigned lsb, unsigned width)
+{
+    return (v >> lsb) & lowMask(width);
+}
+
+/** Ceiling of log2 for a positive integer. */
+inline unsigned
+ceilLog2(std::uint64_t v)
+{
+    return v <= 1 ? 0 : 64u - static_cast<unsigned>(std::countl_zero(v - 1));
+}
+
+/** True iff @p v is a power of two (v > 0). */
+inline bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace xed
+
+#endif // XED_COMMON_BITOPS_HH

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the simulators.
+ *
+ * All Monte-Carlo components take an explicit Rng so that every experiment
+ * is reproducible from a seed. The generator is xoshiro256**, which is far
+ * faster than std::mt19937_64 and has no measurable bias for the uses in
+ * this project (fault arrival sampling, address selection, error-pattern
+ * injection).
+ */
+
+#ifndef XED_COMMON_RNG_HH
+#define XED_COMMON_RNG_HH
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace xed
+{
+
+/** xoshiro256** by Blackman & Vigna, seeded via splitmix64. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull)
+    {
+        // splitmix64 seeding avoids correlated low-entropy states.
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9E3779B97F4A7C15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+            z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next uniformly distributed 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound) using Lemire's multiply-shift. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        if (bound == 0)
+            return 0;
+        // Rejection-free for our purposes: bias is < 2^-64 * bound.
+        const unsigned __int128 m =
+            static_cast<unsigned __int128>(next()) * bound;
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with success probability @p p. */
+    bool
+    bernoulli(double p)
+    {
+        return uniform() < p;
+    }
+
+    /**
+     * Exponentially distributed variate with the given rate
+     * (mean 1/rate). Used for fault inter-arrival times.
+     */
+    double
+    exponential(double rate)
+    {
+        // 1 - uniform() is in (0, 1], avoiding log(0).
+        return -std::log(1.0 - uniform()) / rate;
+    }
+
+    /** Fork an independent stream (for per-system MC parallelism). */
+    Rng
+    fork()
+    {
+        return Rng(next() ^ 0xD2B74407B1CE6E93ull);
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace xed
+
+#endif // XED_COMMON_RNG_HH

@@ -1,0 +1,107 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xed
+{
+
+void
+RunningStat::add(double x)
+{
+    ++n_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (n_ == 1) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+}
+
+double
+RunningStat::variance() const
+{
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+Proportion::addMany(std::uint64_t successes, std::uint64_t trials)
+{
+    successes_ += successes;
+    trials_ += trials;
+}
+
+double
+Proportion::value() const
+{
+    return trials_ ? static_cast<double>(successes_) /
+                         static_cast<double>(trials_)
+                   : 0.0;
+}
+
+double
+Proportion::halfWidth95() const
+{
+    if (trials_ == 0)
+        return 0.0;
+    const double z = 1.959963984540054;
+    const double n = static_cast<double>(trials_);
+    const double p = value();
+    // Wilson score interval half-width.
+    const double denom = 1.0 + z * z / n;
+    const double spread =
+        (z / denom) * std::sqrt(p * (1.0 - p) / n +
+                                z * z / (4.0 * n * n));
+    return spread;
+}
+
+double
+Proportion::lower95() const
+{
+    if (trials_ == 0)
+        return 0.0;
+    const double z = 1.959963984540054;
+    const double n = static_cast<double>(trials_);
+    const double p = value();
+    const double denom = 1.0 + z * z / n;
+    const double centre = (p + z * z / (2.0 * n)) / denom;
+    return std::max(0.0, centre - halfWidth95());
+}
+
+double
+Proportion::upper95() const
+{
+    if (trials_ == 0)
+        return 0.0;
+    const double z = 1.959963984540054;
+    const double n = static_cast<double>(trials_);
+    const double p = value();
+    const double denom = 1.0 + z * z / n;
+    const double centre = (p + z * z / (2.0 * n)) / denom;
+    return std::min(1.0, centre + halfWidth95());
+}
+
+void
+CounterSet::inc(const std::string &name, std::uint64_t by)
+{
+    counters_[name] += by;
+}
+
+std::uint64_t
+CounterSet::get(const std::string &name) const
+{
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+} // namespace xed

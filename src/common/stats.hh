@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Statistics accumulators used by the Monte-Carlo engines and the
+ * performance simulator: streaming mean/variance, binomial proportions
+ * with confidence intervals, and simple named counters.
+ */
+
+#ifndef XED_COMMON_STATS_HH
+#define XED_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace xed
+{
+
+/** Streaming mean / variance (Welford). */
+class RunningStat
+{
+  public:
+    void add(double x);
+
+    std::uint64_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    /** Unbiased sample variance. */
+    double variance() const;
+    double stddev() const;
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+  private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/**
+ * Estimator for a binomial proportion (e.g. probability of system
+ * failure) with a normal-approximation confidence interval. For very
+ * small proportions the Wilson interval is used, which stays inside
+ * [0, 1] and behaves sensibly when successes == 0.
+ */
+class Proportion
+{
+  public:
+    void add(bool success) { ++trials_; successes_ += success ? 1 : 0; }
+    void addMany(std::uint64_t successes, std::uint64_t trials);
+
+    std::uint64_t successes() const { return successes_; }
+    std::uint64_t trials() const { return trials_; }
+    double value() const;
+    /** Wilson score interval half-width at ~95% (z = 1.96). */
+    double halfWidth95() const;
+    double lower95() const;
+    double upper95() const;
+
+  private:
+    std::uint64_t successes_ = 0;
+    std::uint64_t trials_ = 0;
+};
+
+/** A bag of named integer counters (DUE/SDC breakdowns etc.). */
+class CounterSet
+{
+  public:
+    void inc(const std::string &name, std::uint64_t by = 1);
+    std::uint64_t get(const std::string &name) const;
+    const std::map<std::string, std::uint64_t> &all() const
+    {
+        return counters_;
+    }
+
+  private:
+    std::map<std::string, std::uint64_t> counters_;
+};
+
+} // namespace xed
+
+#endif // XED_COMMON_STATS_HH

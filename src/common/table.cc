@@ -1,0 +1,98 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace xed
+{
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size())
+        throw std::invalid_argument("Table row width mismatch");
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream &os, const std::string &title) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    if (!title.empty())
+        os << title << '\n';
+
+    auto printRow = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << "  " << row[c];
+            for (std::size_t pad = row[c].size(); pad < widths[c]; ++pad)
+                os << ' ';
+        }
+        os << '\n';
+    };
+
+    printRow(headers_);
+    std::size_t total = 0;
+    for (const auto w : widths)
+        total += w + 2;
+    os << "  ";
+    for (std::size_t i = 2; i < total; ++i)
+        os << '-';
+    os << '\n';
+    for (const auto &row : rows_)
+        printRow(row);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << ',';
+            os << row[c];
+        }
+        os << '\n';
+    };
+    emit(headers_);
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+std::string
+Table::fmt(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Table::sci(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*e", precision, v);
+    return buf;
+}
+
+std::string
+Table::pct(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, v * 100.0);
+    return buf;
+}
+
+} // namespace xed

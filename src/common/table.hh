@@ -1,0 +1,49 @@
+/**
+ * @file
+ * A minimal aligned-column table printer used by the benchmark harnesses
+ * to reproduce the paper's tables and figure series in text form, with an
+ * optional CSV emitter for plotting.
+ */
+
+#ifndef XED_COMMON_TABLE_HH
+#define XED_COMMON_TABLE_HH
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace xed
+{
+
+/** Aligned-column text table with an optional title and CSV output. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a pre-formatted row; must match the header width. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Number of data rows. */
+    std::size_t rows() const { return rows_.size(); }
+
+    /** Render with aligned columns to @p os. */
+    void print(std::ostream &os, const std::string &title = "") const;
+
+    /** Render as CSV (headers + rows) to @p os. */
+    void printCsv(std::ostream &os) const;
+
+    /** Helpers for formatting numeric cells. */
+    static std::string fmt(double v, int precision = 4);
+    static std::string sci(double v, int precision = 2);
+    static std::string pct(double v, int precision = 2);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace xed
+
+#endif // XED_COMMON_TABLE_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Unit helpers for reliability arithmetic (FIT rates, device-hours) and
+ * common time constants used across the reliability experiments.
+ */
+
+#ifndef XED_COMMON_UNITS_HH
+#define XED_COMMON_UNITS_HH
+
+#include <cstdint>
+
+namespace xed
+{
+
+/** Hours in one (365.25-day) year. */
+constexpr double hoursPerYear = 24.0 * 365.25;
+
+/** The paper evaluates a 7-year system lifetime. */
+constexpr double evaluationYears = 7.0;
+
+/** Hours in the 7-year evaluation period. */
+constexpr double evaluationHours = evaluationYears * hoursPerYear;
+
+/**
+ * Convert a FIT rate (failures per 10^9 device-hours) to a per-hour
+ * event rate for one device.
+ */
+constexpr double
+fitToPerHour(double fit)
+{
+    return fit * 1e-9;
+}
+
+/** Expected event count for one device over @p hours at @p fit. */
+constexpr double
+fitToExpectedEvents(double fit, double hours)
+{
+    return fitToPerHour(fit) * hours;
+}
+
+/** Mebi/gibi helpers for geometry arithmetic. */
+constexpr std::uint64_t operator""_Ki(unsigned long long v) { return v << 10; }
+constexpr std::uint64_t operator""_Mi(unsigned long long v) { return v << 20; }
+constexpr std::uint64_t operator""_Gi(unsigned long long v) { return v << 30; }
+
+} // namespace xed
+
+#endif // XED_COMMON_UNITS_HH

@@ -1,0 +1,105 @@
+#include "dram/fault_injector.hh"
+
+#include <algorithm>
+
+namespace xed::dram
+{
+
+namespace
+{
+
+/** splitmix64: cheap stateless hash for per-word corruption patterns. */
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+void
+FaultInjector::clearTransients()
+{
+    std::erase_if(faults_, [](const Fault &f) { return !f.permanent; });
+}
+
+bool
+FaultInjector::faultCovers(const Fault &fault, const WordAddr &addr) const
+{
+    switch (fault.granularity) {
+      case FaultGranularity::SingleBit:
+      case FaultGranularity::SingleWord:
+        return fault.addr == addr;
+      case FaultGranularity::SingleColumn:
+        // One column line through a bank: same bank and column, any row.
+        return fault.addr.bank == addr.bank && fault.addr.col == addr.col;
+      case FaultGranularity::SingleRow:
+        return fault.addr.bank == addr.bank && fault.addr.row == addr.row;
+      case FaultGranularity::SingleBank:
+        return fault.addr.bank == addr.bank;
+      case FaultGranularity::Chip:
+        return true;
+    }
+    return false;
+}
+
+ecc::Word72
+FaultInjector::faultMask(const Fault &fault, const WordAddr &addr) const
+{
+    ecc::Word72 mask;
+    switch (fault.granularity) {
+      case FaultGranularity::SingleBit:
+      case FaultGranularity::SingleColumn:
+        // Exactly one corrupted cell per affected word.
+        mask.setBitTo(fault.bitPos % ecc::codeLength, 1);
+        return mask;
+      case FaultGranularity::SingleWord:
+      case FaultGranularity::SingleRow:
+      case FaultGranularity::SingleBank:
+      case FaultGranularity::Chip: {
+        // Multi-bit corruption: a pseudo-random nonzero pattern that is
+        // a deterministic function of (fault seed, word address), with
+        // at least two flipped bits so on-die SECDED cannot repair it.
+        const std::uint64_t h =
+            mix(fault.seed ^ packWordAddr(geometry_, addr));
+        mask.lo = h;
+        mask.hi = static_cast<std::uint8_t>(mix(h) & 0xFF);
+        if (mask.weight() < 2) {
+            mask.setBitTo(static_cast<unsigned>(h % ecc::codeLength), 1);
+            mask.setBitTo(static_cast<unsigned>((h >> 8) % ecc::codeLength),
+                          1);
+            if (mask.weight() < 2)
+                mask.setBitTo((static_cast<unsigned>(h % ecc::codeLength) +
+                               1) % ecc::codeLength, 1);
+        }
+        return mask;
+      }
+    }
+    return mask;
+}
+
+ecc::Word72
+FaultInjector::corruption(const WordAddr &addr,
+                          std::uint64_t wordWriteEpoch) const
+{
+    ecc::Word72 mask;
+    for (const auto &fault : faults_) {
+        if (!fault.permanent && fault.epoch <= wordWriteEpoch)
+            continue; // rewritten since the transient hit
+        if (faultCovers(fault, addr))
+            mask ^= faultMask(fault, addr);
+    }
+    return mask;
+}
+
+bool
+FaultInjector::touches(const WordAddr &addr) const
+{
+    return std::any_of(faults_.begin(), faults_.end(),
+                       [&](const Fault &f) { return faultCovers(f, addr); });
+}
+
+} // namespace xed::dram

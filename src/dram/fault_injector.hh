@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Per-chip fault injection for the functional data-path model.
+ *
+ * Faults follow the granularities of the field study the paper draws its
+ * rates from (Sridharan & Liberty, SC'12 -- Table I): single-bit,
+ * single-word, single-column, single-row, single-bank and whole-chip
+ * (multi-bank) failures, each transient or permanent.
+ *
+ * Semantics:
+ *  - A *permanent* fault corrupts every read of an affected word, even
+ *    after the word is rewritten (stuck-at-like). This is what the
+ *    Intra-Line Fault Diagnosis write/read-back probe detects.
+ *  - A *transient* fault corrupts the stored content once: reads observe
+ *    the corruption until the word is rewritten, after which the word is
+ *    clean again. Rewrites are tracked with per-word write epochs.
+ */
+
+#ifndef XED_DRAM_FAULT_INJECTOR_HH
+#define XED_DRAM_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/geometry.hh"
+#include "ecc/word72.hh"
+
+namespace xed::dram
+{
+
+/** Fault granularities, mirroring Table I of the paper. */
+enum class FaultGranularity
+{
+    SingleBit,
+    SingleWord,
+    SingleColumn,
+    SingleRow,
+    SingleBank,
+    Chip, ///< multi-bank: the whole device misbehaves
+};
+
+/** One injected fault region inside a chip. */
+struct Fault
+{
+    FaultGranularity granularity = FaultGranularity::SingleBit;
+    bool permanent = false;
+    /** Anchor address; fields beyond the granularity are ignored. */
+    WordAddr addr{};
+    /** For SingleBit / SingleColumn: which of the 72 codeword bits. */
+    unsigned bitPos = 0;
+    /** Seed that derives the per-word corruption pattern. */
+    std::uint64_t seed = 0;
+    /** Injection epoch (compared against per-word write epochs). */
+    std::uint64_t epoch = 0;
+};
+
+/** Computes the corruption mask a chip's reads observe. */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const ChipGeometry &geometry)
+        : geometry_(geometry)
+    {
+    }
+
+    void add(const Fault &fault) { faults_.push_back(fault); }
+    void clear() { faults_.clear(); }
+    const std::vector<Fault> &faults() const { return faults_; }
+
+    /** Drop transient faults (e.g. after a scrub). */
+    void clearTransients();
+
+    /**
+     * XOR-mask applied to the stored 72-bit codeword at @p addr.
+     *
+     * @param wordWriteEpoch epoch of the last write to this word;
+     *        transient faults older than it no longer apply.
+     */
+    ecc::Word72 corruption(const WordAddr &addr,
+                           std::uint64_t wordWriteEpoch) const;
+
+    /** True iff any fault (of any kind) touches @p addr. */
+    bool touches(const WordAddr &addr) const;
+
+  private:
+    bool faultCovers(const Fault &fault, const WordAddr &addr) const;
+    ecc::Word72 faultMask(const Fault &fault, const WordAddr &addr) const;
+
+    ChipGeometry geometry_;
+    std::vector<Fault> faults_;
+};
+
+} // namespace xed::dram
+
+#endif // XED_DRAM_FAULT_INJECTOR_HH

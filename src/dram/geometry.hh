@@ -1,0 +1,98 @@
+/**
+ * @file
+ * DRAM chip and DIMM geometry (Table V of the paper).
+ *
+ * The modeled device is a 2Gb x8 DDR3 chip: 8 banks, 32K rows per bank,
+ * 128 cache-line columns per row, and 64 bits contributed per chip per
+ * cache-line access. The chip-local *bit* address space is laid out as
+ *     bank(3) | row(15) | col(7) | bit(6)   = 31 bits = 2Gb.
+ * The *word* address space (one 64-bit on-die ECC word) drops the bit
+ * field: bank | row | col.
+ */
+
+#ifndef XED_DRAM_GEOMETRY_HH
+#define XED_DRAM_GEOMETRY_HH
+
+#include <cstdint>
+
+#include "common/bitops.hh"
+
+namespace xed::dram
+{
+
+struct ChipGeometry
+{
+    unsigned bankBits = 3;  ///< 8 banks per rank (Table V)
+    unsigned rowBits = 15;  ///< 32K rows per bank
+    unsigned colBits = 7;   ///< 128 cache lines per row
+    unsigned bitBits = 6;   ///< 64 bits per chip per cache line
+
+    unsigned banks() const { return 1u << bankBits; }
+    std::uint64_t rowsPerBank() const { return std::uint64_t{1} << rowBits; }
+    unsigned colsPerRow() const { return 1u << colBits; }
+    unsigned bitsPerWord() const { return 1u << bitBits; }
+
+    /** Number of 64-bit words stored by the chip (2^25 for 2Gb x8). */
+    std::uint64_t
+    words() const
+    {
+        return std::uint64_t{1} << (bankBits + rowBits + colBits);
+    }
+
+    /** Total capacity in bits (2^31 = 2Gb). */
+    std::uint64_t
+    bits() const
+    {
+        return words() << bitBits;
+    }
+
+    unsigned wordAddrBits() const { return bankBits + rowBits + colBits; }
+};
+
+/** Word address within one chip (the unit the on-die ECC protects). */
+struct WordAddr
+{
+    unsigned bank = 0;
+    unsigned row = 0;
+    unsigned col = 0;
+
+    friend bool
+    operator==(const WordAddr &a, const WordAddr &b)
+    {
+        return a.bank == b.bank && a.row == b.row && a.col == b.col;
+    }
+};
+
+/** Pack a WordAddr into a linear word index: bank | row | col. */
+inline std::uint64_t
+packWordAddr(const ChipGeometry &g, const WordAddr &a)
+{
+    return ((static_cast<std::uint64_t>(a.bank) << g.rowBits | a.row)
+            << g.colBits) |
+           a.col;
+}
+
+/** Unpack a linear word index. */
+inline WordAddr
+unpackWordAddr(const ChipGeometry &g, std::uint64_t linear)
+{
+    WordAddr a;
+    a.col = static_cast<unsigned>(linear & lowMask(g.colBits));
+    linear >>= g.colBits;
+    a.row = static_cast<unsigned>(linear & lowMask(g.rowBits));
+    linear >>= g.rowBits;
+    a.bank = static_cast<unsigned>(linear & lowMask(g.bankBits));
+    return a;
+}
+
+/** ECC-DIMM rank organization used by XED (Section V-A). */
+struct RankConfig
+{
+    unsigned dataChips = 8; ///< x8 devices supplying the 64B line
+    unsigned eccChips = 1;  ///< the 9th chip, holding RAID-3 parity
+    unsigned chips() const { return dataChips + eccChips; }
+};
+
+} // namespace xed::dram
+
+#endif // XED_DRAM_GEOMETRY_HH

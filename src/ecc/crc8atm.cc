@@ -1,0 +1,100 @@
+#include "ecc/crc8atm.hh"
+
+#include <cassert>
+
+namespace xed::ecc
+{
+
+Crc8Atm::Crc8Atm()
+{
+    // MSB-first byte table.
+    for (unsigned b = 0; b < 256; ++b) {
+        std::uint8_t r = static_cast<std::uint8_t>(b);
+        for (int i = 0; i < 8; ++i)
+            r = static_cast<std::uint8_t>((r << 1) ^ ((r & 0x80) ? poly : 0));
+        table_[b] = r;
+    }
+
+    // Syndrome of a single-bit error at codeword position p (degree p
+    // coefficient): x^p mod g(x).
+    singleBitPos_.fill(0);
+    for (unsigned p = 0; p < codeLength; ++p) {
+        std::uint8_t r = 1; // x^0
+        for (unsigned i = 0; i < p; ++i)
+            r = static_cast<std::uint8_t>((r << 1) ^ ((r & 0x80) ? poly : 0));
+        assert(r != 0);
+        assert(singleBitPos_[r] == 0 &&
+               "CRC8-ATM single-bit syndromes must be distinct for SEC");
+        singleBitPos_[r] = static_cast<std::uint8_t>(p + 1);
+    }
+}
+
+std::uint8_t
+Crc8Atm::crc(std::uint64_t data) const
+{
+    // Process the 64 data bits MSB-first; the implicit * x^8 shift is
+    // provided by the table formulation.
+    std::uint8_t r = 0;
+    for (int byte = 7; byte >= 0; --byte)
+        r = table_[r ^ static_cast<std::uint8_t>(data >> (8 * byte))];
+    return r;
+}
+
+Word72
+Crc8Atm::encode(std::uint64_t data) const
+{
+    const std::uint8_t check = crc(data);
+    Word72 word;
+    // Positions 71..8 = data bits 63..0; positions 7..0 = CRC.
+    word.hi = static_cast<std::uint8_t>(data >> 56);
+    word.lo = (data << 8) | check;
+    return word;
+}
+
+std::uint64_t
+Crc8Atm::extractData(const Word72 &word) const
+{
+    return (static_cast<std::uint64_t>(word.hi) << 56) | (word.lo >> 8);
+}
+
+std::uint8_t
+Crc8Atm::syndrome(const Word72 &received) const
+{
+    // The received 72-bit polynomial is valid iff divisible by g(x).
+    // Equivalently: CRC(data) ^ receivedCheck, since the code is
+    // systematic.
+    return static_cast<std::uint8_t>(crc(extractData(received)) ^
+                                     (received.lo & 0xFF));
+}
+
+bool
+Crc8Atm::isValidCodeword(const Word72 &received) const
+{
+    return syndrome(received) == 0;
+}
+
+DecodeResult
+Crc8Atm::decode(const Word72 &received) const
+{
+    DecodeResult result;
+    const std::uint8_t s = syndrome(received);
+    if (s == 0) {
+        result.status = DecodeStatus::NoError;
+        result.data = extractData(received);
+        return result;
+    }
+    if (singleBitPos_[s] != 0) {
+        Word72 fixed = received;
+        const unsigned pos = static_cast<unsigned>(singleBitPos_[s]) - 1;
+        fixed.flip(pos);
+        result.status = DecodeStatus::CorrectedSingle;
+        result.correctedBit = static_cast<int>(pos);
+        result.data = extractData(fixed);
+        return result;
+    }
+    result.status = DecodeStatus::DetectedUncorrectable;
+    result.data = extractData(received);
+    return result;
+}
+
+} // namespace xed::ecc

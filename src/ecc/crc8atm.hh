@@ -1,0 +1,55 @@
+/**
+ * @file
+ * (72,64) CRC8-ATM code: g(x) = x^8 + x^2 + x + 1 (the ATM HEC
+ * polynomial, ITU-T I.432.1). The paper recommends this code for On-Die
+ * ECC (Section V-E): it provides the same SECDED capability as Hamming
+ * (single-bit correction via a syndrome lookup) but detects *all* burst
+ * errors of length <= 8 and ~99.22% of random even-weight errors, since
+ * (x+1) divides g(x).
+ *
+ * Codeword layout (polynomial convention): data bit 63 is the
+ * highest-degree coefficient (codeword position 71), the 8 CRC bits
+ * occupy positions 7..0.
+ */
+
+#ifndef XED_ECC_CRC8ATM_HH
+#define XED_ECC_CRC8ATM_HH
+
+#include <array>
+#include <cstdint>
+
+#include "ecc/code.hh"
+
+namespace xed::ecc
+{
+
+class Crc8Atm : public Secded7264
+{
+  public:
+    /** The ATM HEC generator polynomial, x^8+x^2+x+1, low byte. */
+    static constexpr std::uint8_t poly = 0x07;
+
+    Crc8Atm();
+
+    std::string name() const override { return "(72,64) CRC8-ATM"; }
+    Word72 encode(std::uint64_t data) const override;
+    DecodeResult decode(const Word72 &received) const override;
+    bool isValidCodeword(const Word72 &received) const override;
+    std::uint64_t extractData(const Word72 &word) const override;
+
+    /** Remainder of the received polynomial mod g (0 iff valid). */
+    std::uint8_t syndrome(const Word72 &received) const;
+
+    /** CRC of the 64 data bits (the check byte of the codeword). */
+    std::uint8_t crc(std::uint64_t data) const;
+
+  private:
+    /** Byte-at-a-time CRC table: table_[b] = (b(x) * x^8) mod g(x). */
+    std::array<std::uint8_t, 256> table_{};
+    /** syndrome -> codeword position + 1, or 0 if not a 1-bit pattern. */
+    std::array<std::uint8_t, 256> singleBitPos_{};
+};
+
+} // namespace xed::ecc
+
+#endif // XED_ECC_CRC8ATM_HH

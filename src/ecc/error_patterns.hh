@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Error-pattern generators for the detection-rate study (Table II):
+ * exact-weight random patterns and burst patterns over a 72-bit word.
+ */
+
+#ifndef XED_ECC_ERROR_PATTERNS_HH
+#define XED_ECC_ERROR_PATTERNS_HH
+
+#include "common/rng.hh"
+#include "ecc/word72.hh"
+
+namespace xed::ecc
+{
+
+/** A random pattern with exactly @p weight bits set among 72. */
+Word72 randomPattern(Rng &rng, unsigned weight);
+
+/**
+ * A burst pattern of span exactly @p length: a uniformly random window
+ * start, the first and last bits of the window flipped, interior bits
+ * flipped independently with probability 1/2. For length <= 2 this is a
+ * solid flip of the whole window.
+ */
+Word72 burstPattern(Rng &rng, unsigned length);
+
+/**
+ * A solid burst: @p length consecutive bit flips at a random start.
+ * This is the adversarial case for naturally-ordered Hamming codes
+ * (about half of all aligned 4-bursts have a zero syndrome).
+ */
+Word72 solidBurstPattern(Rng &rng, unsigned length);
+
+} // namespace xed::ecc
+
+#endif // XED_ECC_ERROR_PATTERNS_HH

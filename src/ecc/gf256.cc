@@ -1,0 +1,27 @@
+#include "ecc/gf256.hh"
+
+namespace xed::ecc
+{
+
+GF256::GF256()
+{
+    unsigned x = 1;
+    for (unsigned i = 0; i < groupOrder; ++i) {
+        exp_[i] = static_cast<std::uint8_t>(x);
+        log_[x] = i;
+        x <<= 1;
+        if (x & 0x100)
+            x ^= fieldPoly;
+    }
+    exp_[groupOrder] = exp_[0];
+    log_[0] = 0; // unused; callers must not take log of zero
+}
+
+const GF256 &
+GF256::instance()
+{
+    static const GF256 field;
+    return field;
+}
+
+} // namespace xed::ecc

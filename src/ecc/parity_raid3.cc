@@ -1,0 +1,33 @@
+#include "ecc/parity_raid3.hh"
+
+namespace xed::ecc
+{
+
+std::uint64_t
+computeParity(std::span<const std::uint64_t> dataWords)
+{
+    std::uint64_t parity = 0;
+    for (const auto w : dataWords)
+        parity ^= w;
+    return parity;
+}
+
+bool
+paritySatisfied(std::span<const std::uint64_t> dataWords,
+                std::uint64_t parity)
+{
+    return computeParity(dataWords) == parity;
+}
+
+std::uint64_t
+reconstructErased(std::span<const std::uint64_t> dataWords,
+                  std::uint64_t parity, std::size_t erasedIndex)
+{
+    std::uint64_t value = parity;
+    for (std::size_t i = 0; i < dataWords.size(); ++i)
+        if (i != erasedIndex)
+            value ^= dataWords[i];
+    return value;
+}
+
+} // namespace xed::ecc

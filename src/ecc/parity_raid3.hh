@@ -1,0 +1,43 @@
+/**
+ * @file
+ * RAID-3 style XOR parity across the chips of a rank (Section V-C).
+ *
+ * XED stores, in the 9th chip of the ECC-DIMM, the bitwise XOR of the
+ * 64-bit words the other eight chips contribute to a cache-line transfer
+ * (Equation 1). A single chip identified by a catch-word is reconstructed
+ * by XORing the parity with the remaining chips (Equation 3).
+ */
+
+#ifndef XED_ECC_PARITY_RAID3_HH
+#define XED_ECC_PARITY_RAID3_HH
+
+#include <cstdint>
+#include <span>
+
+namespace xed::ecc
+{
+
+/** XOR of all words: the content of the parity chip (Equation 1). */
+std::uint64_t computeParity(std::span<const std::uint64_t> dataWords);
+
+/**
+ * Check Equation (1): parity XOR all data words == 0.
+ */
+bool paritySatisfied(std::span<const std::uint64_t> dataWords,
+                     std::uint64_t parity);
+
+/**
+ * Reconstruct the word of the erased chip (Equation 3).
+ *
+ * @param dataWords words of all data chips; the entry at @p erasedIndex
+ *        is ignored (it holds the catch-word / garbage).
+ * @param parity    word from the parity chip.
+ * @param erasedIndex which data chip to rebuild.
+ */
+std::uint64_t reconstructErased(std::span<const std::uint64_t> dataWords,
+                                std::uint64_t parity,
+                                std::size_t erasedIndex);
+
+} // namespace xed::ecc
+
+#endif // XED_ECC_PARITY_RAID3_HH

@@ -1,0 +1,250 @@
+#include "ecc/reed_solomon.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace xed::ecc
+{
+
+namespace
+{
+
+/** Polynomial helpers; coefficients ascending (p[0] = x^0 term). */
+using Poly = std::vector<std::uint8_t>;
+
+unsigned
+degree(const Poly &p)
+{
+    for (std::size_t i = p.size(); i-- > 0;)
+        if (p[i] != 0)
+            return static_cast<unsigned>(i);
+    return 0;
+}
+
+Poly
+polyMul(const GF256 &gf, const Poly &a, const Poly &b)
+{
+    Poly out(a.size() + b.size() - 1, 0);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i] == 0)
+            continue;
+        for (std::size_t j = 0; j < b.size(); ++j)
+            out[i + j] ^= gf.mul(a[i], b[j]);
+    }
+    return out;
+}
+
+std::uint8_t
+polyEval(const GF256 &gf, const Poly &p, std::uint8_t x)
+{
+    std::uint8_t acc = 0;
+    for (std::size_t i = p.size(); i-- > 0;)
+        acc = static_cast<std::uint8_t>(gf.mul(acc, x) ^ p[i]);
+    return acc;
+}
+
+/** Formal derivative in characteristic 2: odd-degree terms survive. */
+Poly
+polyDeriv(const Poly &p)
+{
+    Poly out(p.size() > 1 ? p.size() - 1 : 1, 0);
+    for (std::size_t i = 1; i < p.size(); i += 2)
+        out[i - 1] = p[i];
+    return out;
+}
+
+} // namespace
+
+ReedSolomon::ReedSolomon(unsigned n, unsigned k)
+    : gf_(GF256::instance()), n_(n), k_(k)
+{
+    if (n > GF256::groupOrder || k >= n || k == 0)
+        throw std::invalid_argument("invalid RS parameters");
+    // g(x) = prod_{i=0}^{n-k-1} (x + alpha^i); roots alpha^0..alpha^{n-k-1}.
+    gen_ = {1};
+    for (unsigned i = 0; i < n - k; ++i) {
+        const Poly factor = {gf_.expAlpha(i), 1};
+        gen_ = polyMul(gf_, gen_, factor);
+    }
+}
+
+std::vector<std::uint8_t>
+ReedSolomon::encode(const std::vector<std::uint8_t> &data) const
+{
+    if (data.size() != k_)
+        throw std::invalid_argument("RS encode: wrong data length");
+    const unsigned r = numCheck();
+    // Long-division of data(x) * x^r by g(x); remainder = check symbols.
+    // Work MSB-first over the data-first symbol order.
+    std::vector<std::uint8_t> rem(r, 0);
+    for (unsigned i = 0; i < k_; ++i) {
+        const std::uint8_t feedback =
+            static_cast<std::uint8_t>(data[i] ^ rem[r - 1]);
+        for (unsigned j = r; j-- > 1;)
+            rem[j] = static_cast<std::uint8_t>(
+                rem[j - 1] ^ gf_.mul(feedback, gen_[j]));
+        rem[0] = gf_.mul(feedback, gen_[0]);
+    }
+    std::vector<std::uint8_t> out(data);
+    out.resize(n_);
+    // Check symbols: remainder coefficients, highest degree first so that
+    // codeword index i corresponds to degree n-1-i throughout.
+    for (unsigned j = 0; j < r; ++j)
+        out[k_ + j] = rem[r - 1 - j];
+    return out;
+}
+
+std::vector<std::uint8_t>
+ReedSolomon::syndromes(const std::vector<std::uint8_t> &received) const
+{
+    const unsigned r = numCheck();
+    std::vector<std::uint8_t> syn(r, 0);
+    for (unsigned j = 0; j < r; ++j) {
+        // S_j = r(alpha^j), Horner over degrees n-1..0 (index 0 first).
+        std::uint8_t acc = 0;
+        const std::uint8_t x = gf_.expAlpha(j);
+        for (unsigned i = 0; i < n_; ++i)
+            acc = static_cast<std::uint8_t>(gf_.mul(acc, x) ^ received[i]);
+        syn[j] = acc;
+    }
+    return syn;
+}
+
+bool
+ReedSolomon::isCodeword(const std::vector<std::uint8_t> &received) const
+{
+    const auto syn = syndromes(received);
+    return std::all_of(syn.begin(), syn.end(),
+                       [](std::uint8_t s) { return s == 0; });
+}
+
+RsResult
+ReedSolomon::decode(std::vector<std::uint8_t> &received,
+                    const std::vector<unsigned> &erasures) const
+{
+    if (received.size() != n_)
+        throw std::invalid_argument("RS decode: wrong codeword length");
+    RsResult result;
+    const unsigned r = numCheck();
+
+    const auto syn = syndromes(received);
+    const bool clean = std::all_of(syn.begin(), syn.end(),
+                                   [](std::uint8_t s) { return s == 0; });
+    if (clean) {
+        result.status = RsStatus::NoError;
+        return result;
+    }
+
+    const unsigned e = static_cast<unsigned>(erasures.size());
+    if (e > r) {
+        result.status = RsStatus::Failure;
+        return result;
+    }
+
+    // Erasure locator Gamma(x) = prod (1 + X_i x), X_i = alpha^{degree}.
+    Poly gamma = {1};
+    for (const unsigned idx : erasures) {
+        if (idx >= n_) {
+            result.status = RsStatus::Failure;
+            return result;
+        }
+        const Poly factor = {1, gf_.expAlpha(degreeOf(idx))};
+        gamma = polyMul(gf_, gamma, factor);
+    }
+
+    // Forney syndromes: T(x) = S(x) * Gamma(x) mod x^r; the subsequence
+    // T_e..T_{r-1} obeys the errors-only locator recursion.
+    Poly sPoly(syn.begin(), syn.end());
+    Poly t = polyMul(gf_, sPoly, gamma);
+    t.resize(r, 0);
+
+    // Berlekamp-Massey on u_m = T_{e+m}, m = 0..r-e-1.
+    const unsigned nSeq = r - e;
+    Poly lambda = {1};
+    Poly b = {1};
+    unsigned lLen = 0;
+    unsigned m = 1;
+    std::uint8_t bCoef = 1;
+    for (unsigned step = 0; step < nSeq; ++step) {
+        std::uint8_t delta = 0;
+        for (unsigned i = 0; i <= lLen && i < lambda.size(); ++i)
+            if (step >= i)
+                delta ^= gf_.mul(lambda[i], t[e + step - i]);
+        if (delta == 0) {
+            ++m;
+        } else if (2 * lLen <= step) {
+            const Poly oldLambda = lambda;
+            const std::uint8_t factor = gf_.div(delta, bCoef);
+            Poly shifted(m, 0);
+            shifted.insert(shifted.end(), b.begin(), b.end());
+            if (shifted.size() > lambda.size())
+                lambda.resize(shifted.size(), 0);
+            for (std::size_t i = 0; i < shifted.size(); ++i)
+                lambda[i] ^= gf_.mul(factor, shifted[i]);
+            b = oldLambda;
+            lLen = step + 1 - lLen;
+            bCoef = delta;
+            m = 1;
+        } else {
+            const std::uint8_t factor = gf_.div(delta, bCoef);
+            Poly shifted(m, 0);
+            shifted.insert(shifted.end(), b.begin(), b.end());
+            if (shifted.size() > lambda.size())
+                lambda.resize(shifted.size(), 0);
+            for (std::size_t i = 0; i < shifted.size(); ++i)
+                lambda[i] ^= gf_.mul(factor, shifted[i]);
+            ++m;
+        }
+    }
+    if (degree(lambda) != lLen || 2 * lLen + e > r) {
+        result.status = RsStatus::Failure;
+        return result;
+    }
+
+    // Combined locator and Chien search over the n valid positions.
+    Poly psi = polyMul(gf_, lambda, gamma);
+    std::vector<unsigned> positions; // degree positions of all errors
+    for (unsigned p = 0; p < n_; ++p) {
+        const unsigned deg = degreeOf(p);
+        const std::uint8_t xInv =
+            gf_.expAlpha(GF256::groupOrder - (deg % GF256::groupOrder));
+        if (polyEval(gf_, psi, xInv) == 0)
+            positions.push_back(p);
+    }
+    if (positions.size() != degree(psi)) {
+        result.status = RsStatus::Failure;
+        return result;
+    }
+
+    // Error evaluator Omega(x) = S(x) * Psi(x) mod x^r and Forney values.
+    Poly omega = polyMul(gf_, sPoly, psi);
+    omega.resize(r, 0);
+    const Poly psiDeriv = polyDeriv(psi);
+    for (const unsigned p : positions) {
+        const unsigned deg = degreeOf(p);
+        const std::uint8_t x = gf_.expAlpha(deg);
+        const std::uint8_t xInv =
+            gf_.expAlpha(GF256::groupOrder - (deg % GF256::groupOrder));
+        const std::uint8_t num = polyEval(gf_, omega, xInv);
+        const std::uint8_t den = polyEval(gf_, psiDeriv, xInv);
+        if (den == 0) {
+            result.status = RsStatus::Failure;
+            return result;
+        }
+        const std::uint8_t magnitude = gf_.mul(x, gf_.div(num, den));
+        received[p] ^= magnitude;
+    }
+
+    // Re-verify: a decoding that does not land on a codeword is a failure.
+    if (!isCodeword(received)) {
+        result.status = RsStatus::Failure;
+        return result;
+    }
+    result.status = RsStatus::Corrected;
+    result.numErasures = e;
+    result.numErrors = lLen;
+    return result;
+}
+
+} // namespace xed::ecc

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Systematic Reed-Solomon RS(n, k) over GF(2^8) with errors-and-erasures
+ * decoding (Forney syndromes + Berlekamp-Massey + Chien + Forney).
+ *
+ * These codes implement the symbol-based DIMM-level schemes the paper
+ * compares against:
+ *   - RS(18,16): commercial Chipkill (16 data chips + 2 check chips);
+ *     corrects one faulty symbol per codeword.
+ *   - RS(36,32): Double-Chipkill (32 data chips + 4 check chips);
+ *     corrects two faulty symbols.
+ *   - RS(18,16) in 2-erasure mode: XED on top of Chipkill (Section IX),
+ *     where catch-words provide the two erasure locations.
+ */
+
+#ifndef XED_ECC_REED_SOLOMON_HH
+#define XED_ECC_REED_SOLOMON_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ecc/gf256.hh"
+
+namespace xed::ecc
+{
+
+/** Outcome of a Reed-Solomon decode. */
+enum class RsStatus
+{
+    NoError,
+    Corrected,
+    /** More errors than the code can correct (or locator inconsistent). */
+    Failure,
+};
+
+struct RsResult
+{
+    RsStatus status = RsStatus::Failure;
+    unsigned numErrors = 0;
+    unsigned numErasures = 0;
+};
+
+class ReedSolomon
+{
+  public:
+    /**
+     * @param n codeword length in symbols (n <= 255)
+     * @param k data length in symbols (k < n)
+     */
+    ReedSolomon(unsigned n, unsigned k);
+
+    unsigned n() const { return n_; }
+    unsigned k() const { return k_; }
+    unsigned numCheck() const { return n_ - k_; }
+
+    /**
+     * Systematic encode. @p data has k symbols; returns n symbols with
+     * data first (indices 0..k-1) followed by the check symbols.
+     */
+    std::vector<std::uint8_t> encode(
+        const std::vector<std::uint8_t> &data) const;
+
+    /**
+     * Decode @p received (n symbols) in place.
+     *
+     * @param erasures indices (0-based, data-first order) of symbols
+     *        known to be unreliable, e.g. chips that sent a catch-word.
+     *        Correctable iff 2*errors + erasures <= n-k.
+     */
+    RsResult decode(std::vector<std::uint8_t> &received,
+                    const std::vector<unsigned> &erasures = {}) const;
+
+    /** True iff @p received has all-zero syndromes. */
+    bool isCodeword(const std::vector<std::uint8_t> &received) const;
+
+  private:
+    /** Map a data-first index to the polynomial degree position. */
+    unsigned degreeOf(unsigned index) const { return n_ - 1 - index; }
+
+    std::vector<std::uint8_t> syndromes(
+        const std::vector<std::uint8_t> &received) const;
+
+    const GF256 &gf_;
+    unsigned n_;
+    unsigned k_;
+    /** Generator polynomial, ascending degree; g[0] is x^0 coeff. */
+    std::vector<std::uint8_t> gen_;
+};
+
+} // namespace xed::ecc
+
+#endif // XED_ECC_REED_SOLOMON_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * A 72-bit word: the unit protected by the paper's (72,64) codes.
+ *
+ * Both the on-die ECC word (64 data bits + 8 check bits inside one DRAM
+ * chip) and the DIMM-level SECDED beat (64 data bits across 8 chips + 8
+ * check bits on the 9th chip) are 72 bits wide, so this type is shared by
+ * every codec in the library.
+ */
+
+#ifndef XED_ECC_WORD72_HH
+#define XED_ECC_WORD72_HH
+
+#include <cstdint>
+
+#include "common/bitops.hh"
+
+namespace xed::ecc
+{
+
+/** 72 bits: positions 0..63 in lo, positions 64..71 in hi. */
+struct Word72
+{
+    std::uint64_t lo = 0;
+    std::uint8_t hi = 0;
+
+    int
+    bit(unsigned pos) const
+    {
+        return pos < 64 ? getBit(lo, pos) : getBit(hi, pos - 64);
+    }
+
+    void
+    setBitTo(unsigned pos, int value)
+    {
+        if (pos < 64)
+            lo = setBit(lo, pos, value);
+        else
+            hi = static_cast<std::uint8_t>(setBit(hi, pos - 64, value));
+    }
+
+    void
+    flip(unsigned pos)
+    {
+        if (pos < 64)
+            lo = flipBit(lo, pos);
+        else
+            hi = static_cast<std::uint8_t>(flipBit(hi, pos - 64));
+    }
+
+    int
+    weight() const
+    {
+        return popcount64(lo) + popcount64(hi);
+    }
+
+    friend Word72
+    operator^(const Word72 &a, const Word72 &b)
+    {
+        return {a.lo ^ b.lo, static_cast<std::uint8_t>(a.hi ^ b.hi)};
+    }
+
+    Word72 &
+    operator^=(const Word72 &other)
+    {
+        lo ^= other.lo;
+        hi ^= other.hi;
+        return *this;
+    }
+
+    friend bool
+    operator==(const Word72 &a, const Word72 &b)
+    {
+        return a.lo == b.lo && a.hi == b.hi;
+    }
+
+    bool
+    isZero() const
+    {
+        return lo == 0 && hi == 0;
+    }
+};
+
+/** Codeword length of the (72,64) codes. */
+constexpr unsigned codeLength = 72;
+/** Data length of the (72,64) codes. */
+constexpr unsigned dataLength = 64;
+/** Number of check bits of the (72,64) codes. */
+constexpr unsigned checkLength = 8;
+
+} // namespace xed::ecc
+
+#endif // XED_ECC_WORD72_HH

@@ -1,0 +1,45 @@
+#include "faultsim/engine.hh"
+
+#include <cmath>
+
+namespace xed::faultsim
+{
+
+McResult
+runMonteCarlo(const Scheme &scheme, const McConfig &config)
+{
+    McResult result;
+    Rng rng(config.seed);
+    const AddressLayout layout(config.geometry);
+    const FitTable fit;
+    const DimmShape shape = scheme.dimmShape();
+    const double hours = config.years * hoursPerYear;
+    const unsigned lastYear =
+        static_cast<unsigned>(std::lround(config.years));
+
+    for (std::uint64_t s = 0; s < config.systems; ++s) {
+        double failTime = -1;
+        const char *failType = nullptr;
+        for (unsigned ch = 0; ch < config.channels; ++ch) {
+            const auto events =
+                sampleDimmFaults(rng, fit, layout, shape, hours,
+                                 config.scrubIntervalHours);
+            if (events.empty())
+                continue;
+            if (const auto f = scheme.evaluateDimm(events, layout, rng)) {
+                if (failTime < 0 || f->timeHours < failTime) {
+                    failTime = f->timeHours;
+                    failType = f->type;
+                }
+            }
+        }
+        for (unsigned y = 1; y <= lastYear && y < 8; ++y)
+            result.failByYear[y].add(failTime >= 0 &&
+                                     failTime <= y * hoursPerYear);
+        if (failTime >= 0)
+            result.failureTypes.inc(failType);
+    }
+    return result;
+}
+
+} // namespace xed::faultsim

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The Monte-Carlo reliability engine (Section III of the paper).
+ *
+ * For each simulated system (4 channels x 1 dual-rank DIMM each, Table
+ * V), runtime faults are sampled per chip from the Table I FIT rates
+ * over a 7-year lifetime and fed to a correction-scheme evaluator; the
+ * system "fails" if the scheme is defeated at any time. The engine
+ * reports the probability of system failure as a function of time,
+ * which is exactly what Figures 1, 7, 8, 9 and 10 plot.
+ */
+
+#ifndef XED_FAULTSIM_ENGINE_HH
+#define XED_FAULTSIM_ENGINE_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/stats.hh"
+#include "common/units.hh"
+#include "faultsim/scheme.hh"
+
+namespace xed::faultsim
+{
+
+struct McConfig
+{
+    std::uint64_t systems = 200000;
+    double years = evaluationYears;
+    unsigned channels = 4; ///< one dual-rank DIMM per channel (Table V)
+    std::uint64_t seed = 0xFA517;
+    dram::ChipGeometry geometry{};
+    /**
+     * Patrol-scrub period in hours (repair model): transient faults
+     * disappear at the next scrub boundary, so multi-chip combinations
+     * must be concurrent. 0 (the paper's setting) disables scrubbing
+     * and lets faults accumulate for the whole lifetime.
+     */
+    double scrubIntervalHours = 0;
+};
+
+struct McResult
+{
+    /** P(system failed by end of year y), y = 1..7 (index 0 unused). */
+    std::array<Proportion, 8> failByYear{};
+    /** Failure-cause breakdown (counts of failed systems by type). */
+    CounterSet failureTypes;
+
+    /** Final-lifetime probability of system failure (the last year
+     *  that was actually simulated). */
+    double
+    probFailure() const
+    {
+        for (unsigned y = 7; y >= 1; --y)
+            if (failByYear[y].trials() > 0)
+                return failByYear[y].value();
+        return 0.0;
+    }
+};
+
+/** Run the Monte-Carlo for one scheme. */
+McResult runMonteCarlo(const Scheme &scheme, const McConfig &config);
+
+} // namespace xed::faultsim
+
+#endif // XED_FAULTSIM_ENGINE_HH

@@ -1,0 +1,91 @@
+#include "faultsim/fault_model.hh"
+
+#include <cmath>
+
+namespace xed::faultsim
+{
+
+unsigned
+samplePoisson(Rng &rng, double lambda)
+{
+    // Knuth's method; lambda is << 1 in all our uses (expected fault
+    // count per DIMM over 7 years is ~0.07).
+    const double limit = std::exp(-lambda);
+    unsigned k = 0;
+    double p = 1.0;
+    do {
+        ++k;
+        p *= rng.uniform();
+    } while (p > limit);
+    return k - 1;
+}
+
+std::vector<FaultEvent>
+sampleDimmFaults(Rng &rng, const FitTable &fit, const AddressLayout &layout,
+                 const DimmShape &shape, double hours,
+                 double scrubIntervalHours)
+{
+    std::vector<FaultEvent> events;
+
+    // Total event rate across all chips and kinds (transient +
+    // permanent), then attribute each sampled event.
+    const double perChip = fit.totalFit() * 1e-9 * hours;
+    const double lambda = perChip * shape.chips();
+    const unsigned count = samplePoisson(rng, lambda);
+    if (count == 0)
+        return events;
+
+    // Cumulative kind weights.
+    double cumulative[numFaultKinds];
+    double sum = 0;
+    for (unsigned i = 0; i < numFaultKinds; ++i) {
+        sum += fit.rates[i].total();
+        cumulative[i] = sum;
+    }
+
+    for (unsigned e = 0; e < count; ++e) {
+        const unsigned chipLinear =
+            static_cast<unsigned>(rng.below(shape.chips()));
+        const double kindDraw = rng.uniform() * sum;
+        unsigned kindIdx = 0;
+        while (kindIdx + 1 < numFaultKinds &&
+               kindDraw > cumulative[kindIdx])
+            ++kindIdx;
+        const auto kind = static_cast<FaultKind>(kindIdx);
+        const auto &entry = fit.rates[kindIdx];
+        const bool transient =
+            rng.uniform() * entry.total() < entry.transient;
+        const double time = rng.uniform() * hours;
+
+        FaultEvent ev;
+        ev.rank = chipLinear / shape.chipsPerRank;
+        ev.chip = chipLinear % shape.chipsPerRank;
+        ev.kind = kind;
+        ev.transient = transient;
+        ev.timeHours = time;
+        if (transient && scrubIntervalHours > 0) {
+            // The patrol scrubber rewrites (and thereby heals) the
+            // affected cells at the next scrub boundary.
+            ev.expiresHours =
+                (std::floor(time / scrubIntervalHours) + 1.0) *
+                scrubIntervalHours;
+        }
+        ev.range = randomRange(rng, layout, kind);
+        events.push_back(ev);
+
+        if (kind == FaultKind::MultiRank && shape.twinMultiRank) {
+            // Shared circuitry: the same chip position fails in every
+            // other rank of the DIMM at the same time.
+            for (unsigned r = 0; r < shape.ranks; ++r) {
+                if (r == ev.rank)
+                    continue;
+                FaultEvent twin = ev;
+                twin.rank = r;
+                events.push_back(twin);
+            }
+        }
+    }
+    return events;
+}
+
+} // namespace xed::faultsim

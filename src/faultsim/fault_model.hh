@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Runtime-fault event sampling for the Monte-Carlo engine.
+ *
+ * Fault arrivals per chip form independent Poisson processes, one per
+ * Table I row; event times are uniform over the simulated lifetime.
+ * Multi-rank events insert a whole-chip range at the same chip position
+ * of every rank of the DIMM (shared-circuitry failure).
+ */
+
+#ifndef XED_FAULTSIM_FAULT_MODEL_HH
+#define XED_FAULTSIM_FAULT_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "faultsim/fault_range.hh"
+#include "faultsim/fit_rates.hh"
+
+namespace xed::faultsim
+{
+
+/** One runtime fault materialized in a specific chip. */
+struct FaultEvent
+{
+    unsigned rank = 0;
+    unsigned chip = 0; ///< position within the rank
+    FaultKind kind = FaultKind::Bit;
+    bool transient = false;
+    double timeHours = 0;
+    /**
+     * When the fault stops being visible: infinity for permanent
+     * faults (no repair modeled), and the next patrol-scrub boundary
+     * for transient faults when scrubbing is enabled. Two faults can
+     * only combine into a multi-chip failure while both are active.
+     */
+    double expiresHours = 1e300;
+    FaultRange range{};
+
+    bool
+    concurrentWith(const FaultEvent &other) const
+    {
+        return timeHours <= other.expiresHours &&
+               other.timeHours <= expiresHours;
+    }
+};
+
+/** Sample a Poisson variate (small-lambda inversion method). */
+unsigned samplePoisson(Rng &rng, double lambda);
+
+/** Organization of one sampling unit (usually one DIMM). */
+struct DimmShape
+{
+    unsigned ranks = 2;
+    unsigned chipsPerRank = 9;
+    /**
+     * Expand multi-rank events into a twin chip failure on the other
+     * rank of this unit. Set to false when the unit's ranks come from
+     * different DIMMs (cross-channel Double-Chipkill): the twin then
+     * falls into a different codeword group and is modeled by that
+     * group's own sampling.
+     */
+    bool twinMultiRank = true;
+    unsigned chips() const { return ranks * chipsPerRank; }
+};
+
+/**
+ * Sample all runtime fault events of one DIMM over @p hours.
+ * Multi-rank events expand into one FaultEvent per rank.
+ *
+ * @param scrubIntervalHours patrol-scrub period; transient faults are
+ *        rewritten (and thus disappear) at the next scrub boundary.
+ *        <= 0 disables scrubbing (the paper's accumulate-forever
+ *        model).
+ */
+std::vector<FaultEvent> sampleDimmFaults(Rng &rng, const FitTable &fit,
+                                         const AddressLayout &layout,
+                                         const DimmShape &shape,
+                                         double hours,
+                                         double scrubIntervalHours = 0);
+
+} // namespace xed::faultsim
+
+#endif // XED_FAULTSIM_FAULT_MODEL_HH

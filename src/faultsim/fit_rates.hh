@@ -1,0 +1,85 @@
+/**
+ * @file
+ * DRAM failure rates from field data (Table I of the paper, originally
+ * Sridharan & Liberty, "A study of DRAM failures in the field", SC'12),
+ * in FIT (failures per billion device-hours) per chip.
+ */
+
+#ifndef XED_FAULTSIM_FIT_RATES_HH
+#define XED_FAULTSIM_FIT_RATES_HH
+
+#include <array>
+#include <string>
+
+namespace xed::faultsim
+{
+
+/** Fault granularities of Table I. */
+enum class FaultKind
+{
+    Bit,       ///< single bit
+    Word,      ///< single word (multi-bit within one word)
+    Column,    ///< single column (one bit per affected word)
+    Row,       ///< single row
+    Bank,      ///< single bank
+    MultiBank, ///< multiple banks: the whole chip misbehaves
+    MultiRank, ///< shared circuitry: same chip position in other ranks too
+};
+
+constexpr unsigned numFaultKinds = 7;
+
+const char *faultKindName(FaultKind kind);
+
+/** True iff faults of this kind corrupt >1 bit of some 64-bit word. */
+constexpr bool
+multiBitPerWord(FaultKind kind)
+{
+    return kind != FaultKind::Bit && kind != FaultKind::Column;
+}
+
+struct FitEntry
+{
+    double transient = 0; ///< FIT
+    double permanent = 0; ///< FIT
+    double total() const { return transient + permanent; }
+};
+
+/** Per-chip FIT rates; defaults are Table I. */
+struct FitTable
+{
+    std::array<FitEntry, numFaultKinds> rates{{
+        {14.2, 18.6}, // Bit
+        {1.4, 0.3},   // Word
+        {1.4, 5.6},   // Column
+        {0.2, 8.2},   // Row
+        {0.8, 10.0},  // Bank
+        {0.3, 1.4},   // MultiBank
+        {0.9, 2.8},   // MultiRank
+    }};
+
+    const FitEntry &
+    entry(FaultKind kind) const
+    {
+        return rates[static_cast<unsigned>(kind)];
+    }
+
+    FitEntry &
+    entry(FaultKind kind)
+    {
+        return rates[static_cast<unsigned>(kind)];
+    }
+
+    /** Sum of all FIT rates for one chip. */
+    double
+    totalFit() const
+    {
+        double sum = 0;
+        for (const auto &e : rates)
+            sum += e.total();
+        return sum;
+    }
+};
+
+} // namespace xed::faultsim
+
+#endif // XED_FAULTSIM_FIT_RATES_HH

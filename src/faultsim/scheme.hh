@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Correction-scheme evaluators for the reliability Monte-Carlo.
+ *
+ * Each scheme encodes, as a rule over the fault ranges present in one
+ * DIMM, when the protection fails (uncorrectable, mis-corrected, or
+ * silent error) -- the failure condition the paper's Section III uses.
+ * See DESIGN.md Section 4 for the rule derivations.
+ */
+
+#ifndef XED_FAULTSIM_SCHEME_HH
+#define XED_FAULTSIM_SCHEME_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "faultsim/fault_model.hh"
+
+namespace xed::faultsim
+{
+
+/** On-die ECC configuration shared by the schemes. */
+struct OnDieOptions
+{
+    /** Chips are equipped with (72,64) on-die SECDED. */
+    bool present = true;
+    /** Birthtime scaling-fault rate per bit (0, 1e-6, 1e-5, 1e-4). */
+    double scalingRate = 0;
+    /**
+     * Probability that a multi-bit error pattern aliases to a valid
+     * on-die codeword and escapes detection (paper: 0.8%).
+     */
+    double detectionEscapeProb = 0.008;
+};
+
+/** A system failure observed by a scheme evaluator. */
+struct SchemeFailure
+{
+    double timeHours = 0;
+    /** Counter label, e.g. "multi-chip-data-loss", "due-word-fault". */
+    const char *type = "";
+};
+
+class Scheme
+{
+  public:
+    virtual ~Scheme() = default;
+
+    virtual std::string name() const = 0;
+
+    /** DIMM organization this scheme expects. */
+    virtual DimmShape dimmShape() const = 0;
+
+    /**
+     * Evaluate one DIMM's fault events; return the earliest failure if
+     * the protection is defeated at any time. @p rng drives the
+     * probabilistic on-die escape decisions.
+     */
+    virtual std::optional<SchemeFailure>
+    evaluateDimm(const std::vector<FaultEvent> &events,
+                 const AddressLayout &layout, Rng &rng) const = 0;
+};
+
+/** The protection configurations evaluated in the paper. */
+enum class SchemeKind
+{
+    NonEcc, ///< 8-chip DIMM, no DIMM-level code (Fig. 1)
+    Secded, ///< 9-chip ECC-DIMM, (72,64) SECDED (Fig. 1/7/8)
+    Xed,    ///< 9-chip ECC-DIMM, XED (Fig. 7/8)
+    /**
+     * Chipkill as the paper evaluates it: one 18-chip codeword group
+     * per access (16 data + 2 check symbols). Multi-rank faults land
+     * one chip per group and stay correctable -- this is what
+     * reproduces the paper's 43x (vs SECDED) and 4x (vs XED) ratios.
+     */
+    Chipkill,
+    /**
+     * Ablation: commodity-x8 Chipkill built by lockstepping the two
+     * 9-chip ranks of an ECC-DIMM. The codeword then spans both ranks,
+     * so a multi-rank fault defeats it -- an order of magnitude worse
+     * than the 18-chip x4 arrangement. Not a paper figure; included to
+     * quantify the lockstep penalty.
+     */
+    ChipkillX8Lockstep,
+    /**
+     * Double-Chipkill: 36 x4 chips, implemented (per the Figure 12
+     * discussion) by ganging ranks of two *channels*, so a multi-rank
+     * fault contributes only one chip per codeword group.
+     */
+    DoubleChipkill,
+    XedChipkill, ///< XED on 18 chips in one group, 2-erasure
+    /**
+     * Commodity-x8 lockstep family used for Figures 9/10: codeword
+     * groups are built from lockstepped 9-chip ECC-DIMM ranks, so
+     * multi-rank faults land two chips *inside* a group. Single-
+     * Chipkill loses them, while Double-Chipkill (4 lockstepped ranks,
+     * 36 chips) and XED-on-Chipkill (2 ranks, 18 chips, two erasures)
+     * absorb them -- reproducing the paper's ~10x (DCK vs SCK) and
+     * "fewer chips" (XED+CK vs DCK) ratios.
+     */
+    DoubleChipkillLockstep,
+    XedChipkillLockstep,
+};
+
+std::unique_ptr<Scheme> makeScheme(SchemeKind kind,
+                                   const OnDieOptions &onDie);
+
+const char *schemeKindName(SchemeKind kind);
+
+} // namespace xed::faultsim
+
+#endif // XED_FAULTSIM_SCHEME_HH

@@ -1,0 +1,526 @@
+#include "faultsim/scheme.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xed::faultsim
+{
+
+namespace
+{
+
+/** P(the 64-bit word holding a runtime faulty bit also has a scaling
+ *  fault in one of the other 63 cells). */
+double
+scaledWordProb(double scalingRate)
+{
+    return 1.0 - std::pow(1.0 - scalingRate, 63.0);
+}
+
+/**
+ * For NON-ECC DIMMs with on-die ECC: probability a bit-class fault
+ * becomes visible (its word turns into a 2-bit on-die DUE that the chip
+ * passes through raw). Column faults have one shot per row.
+ */
+double
+bitClassEscapeProb(FaultKind kind, const AddressLayout &layout,
+                   double scalingRate)
+{
+    const double perWord = scaledWordProb(scalingRate);
+    if (kind == FaultKind::Bit)
+        return perWord;
+    // Column: one affected bit in every row of the bank.
+    const double rows = static_cast<double>(std::uint64_t{1}
+                                            << layout.rowBits);
+    return 1.0 - std::pow(1.0 - perWord, rows);
+}
+
+/**
+ * For SECDED ECC-DIMMs with on-die ECC: probability a bit-class fault
+ * defeats the DIMM-level code as well -- the escaped 2-bit word must
+ * land both bad bits in the same 8-bit beat (7 of the 63 partner cells).
+ */
+double
+bitClassSecdedDueProb(FaultKind kind, const AddressLayout &layout,
+                      double scalingRate)
+{
+    const double perWord = scaledWordProb(scalingRate) * (7.0 / 63.0);
+    if (kind == FaultKind::Bit)
+        return perWord;
+    const double rows = static_cast<double>(std::uint64_t{1}
+                                            << layout.rowBits);
+    return 1.0 - std::pow(1.0 - perWord, rows);
+}
+
+/** Beat index (0..7) of a bit-class fault's fixed bit position. */
+unsigned
+beatOf(const FaultRange &range)
+{
+    return static_cast<unsigned>((range.addr >> 3) & 0x7);
+}
+
+/** Distinct physical chip identity inside a DIMM. */
+std::uint64_t
+chipId(const FaultEvent &e)
+{
+    return (static_cast<std::uint64_t>(e.rank) << 32) | e.chip;
+}
+
+void
+keepEarliest(std::optional<SchemeFailure> &best, double time,
+             const char *type)
+{
+    if (!best || time < best->timeHours)
+        best = SchemeFailure{time, type};
+}
+
+/** Base with the shared group machinery. */
+class SchemeBase : public Scheme
+{
+  public:
+    SchemeBase(const OnDieOptions &onDie, unsigned chipsPerRank,
+               unsigned groupRanks, bool twinMultiRank = true)
+        : onDie_(onDie), chipsPerRank_(chipsPerRank),
+          groupRanks_(groupRanks), twinMultiRank_(twinMultiRank)
+    {
+    }
+
+    DimmShape
+    dimmShape() const override
+    {
+        return {2, chipsPerRank_, twinMultiRank_};
+    }
+
+    std::optional<SchemeFailure>
+    evaluateDimm(const std::vector<FaultEvent> &events,
+                 const AddressLayout &layout, Rng &rng) const override
+    {
+        std::optional<SchemeFailure> best;
+        const unsigned groups = 2 / groupRanks_;
+        for (unsigned g = 0; g < groups; ++g) {
+            groupEvents_.clear();
+            for (const auto &e : events)
+                if (e.rank / groupRanks_ == g)
+                    groupEvents_.push_back(e);
+            if (groupEvents_.empty())
+                continue;
+            if (const auto f = evaluateGroup(groupEvents_, layout, rng))
+                keepEarliest(best, f->timeHours, f->type);
+        }
+        return best;
+    }
+
+  protected:
+    virtual std::optional<SchemeFailure>
+    evaluateGroup(const std::vector<FaultEvent> &events,
+                  const AddressLayout &layout, Rng &rng) const = 0;
+
+    OnDieOptions onDie_;
+    unsigned chipsPerRank_;
+    unsigned groupRanks_;
+    bool twinMultiRank_;
+
+  private:
+    mutable std::vector<FaultEvent> groupEvents_;
+};
+
+// ---------------------------------------------------------------------
+// Non-ECC DIMM (8 chips).
+// ---------------------------------------------------------------------
+class NonEccScheme : public SchemeBase
+{
+  public:
+    explicit NonEccScheme(const OnDieOptions &onDie)
+        : SchemeBase(onDie, 8, 1)
+    {
+    }
+
+    std::string
+    name() const override
+    {
+        return onDie_.present ? "Non-ECC DIMM + On-Die ECC"
+                              : "Non-ECC DIMM";
+    }
+
+  protected:
+    std::optional<SchemeFailure>
+    evaluateGroup(const std::vector<FaultEvent> &events,
+                  const AddressLayout &layout, Rng &rng) const override
+    {
+        std::optional<SchemeFailure> best;
+        for (const auto &e : events) {
+            if (!onDie_.present) {
+                // Nothing corrects anything: every fault is an SDC.
+                keepEarliest(best, e.timeHours, "sdc");
+                continue;
+            }
+            if (multiBitPerWord(e.kind)) {
+                keepEarliest(best, e.timeHours, "sdc-multibit");
+            } else if (onDie_.scalingRate > 0 &&
+                       rng.bernoulli(bitClassEscapeProb(
+                           e.kind, layout, onDie_.scalingRate))) {
+                keepEarliest(best, e.timeHours, "sdc-scaling-interaction");
+            }
+        }
+        return best;
+    }
+};
+
+// ---------------------------------------------------------------------
+// 9-chip ECC-DIMM with (72,64) DIMM-level SECDED.
+// ---------------------------------------------------------------------
+class SecdedScheme : public SchemeBase
+{
+  public:
+    explicit SecdedScheme(const OnDieOptions &onDie)
+        : SchemeBase(onDie, 9, 1)
+    {
+    }
+
+    std::string
+    name() const override
+    {
+        return onDie_.present ? "ECC-DIMM (SECDED) + On-Die ECC"
+                              : "ECC-DIMM (SECDED)";
+    }
+
+  protected:
+    std::optional<SchemeFailure>
+    evaluateGroup(const std::vector<FaultEvent> &events,
+                  const AddressLayout &layout, Rng &rng) const override
+    {
+        std::optional<SchemeFailure> best;
+        for (const auto &e : events) {
+            if (multiBitPerWord(e.kind)) {
+                // Up to 8 bad bits per 72-bit beat from one chip:
+                // beyond SECDED regardless of On-Die ECC.
+                keepEarliest(best, e.timeHours, "dimm-uncorrectable");
+            } else if (onDie_.present && onDie_.scalingRate > 0 &&
+                       rng.bernoulli(bitClassSecdedDueProb(
+                           e.kind, layout, onDie_.scalingRate))) {
+                keepEarliest(best, e.timeHours, "due-scaling-interaction");
+            }
+        }
+        if (!onDie_.present) {
+            // Without on-die correction, bit-class faults reach the
+            // DIMM; two of them in the same word AND beat defeat
+            // SECDED.
+            for (std::size_t i = 0; i < events.size(); ++i) {
+                const auto &a = events[i];
+                if (multiBitPerWord(a.kind))
+                    continue;
+                for (std::size_t j = i + 1; j < events.size(); ++j) {
+                    const auto &b = events[j];
+                    if (multiBitPerWord(b.kind))
+                        continue;
+                    if (a.concurrentWith(b) &&
+                        intersectAtWord(a.range, b.range, layout) &&
+                        beatOf(a.range) == beatOf(b.range)) {
+                        keepEarliest(best,
+                                     std::max(a.timeHours, b.timeHours),
+                                     "due-double-bit");
+                    }
+                }
+            }
+        }
+        (void)rng;
+        return best;
+    }
+};
+
+// ---------------------------------------------------------------------
+// XED on a 9-chip ECC-DIMM (the paper's main proposal).
+// ---------------------------------------------------------------------
+class XedScheme : public SchemeBase
+{
+  public:
+    explicit XedScheme(const OnDieOptions &onDie)
+        : SchemeBase(onDie, 9, 1)
+    {
+    }
+
+    std::string name() const override { return "XED (9 chips)"; }
+
+  protected:
+    std::optional<SchemeFailure>
+    evaluateGroup(const std::vector<FaultEvent> &events,
+                  const AddressLayout &layout, Rng &rng) const override
+    {
+        std::optional<SchemeFailure> best;
+        for (const auto &e : events) {
+            // Transient word faults that alias the on-die code: neither
+            // catch-words nor Inter-/Intra-Line diagnosis can locate
+            // the chip -> DUE (Section VIII). Permanent word faults are
+            // found by the Intra-Line probe.
+            if (e.kind == FaultKind::Word && e.transient &&
+                rng.bernoulli(onDie_.detectionEscapeProb)) {
+                keepEarliest(best, e.timeHours, "due-word-fault");
+            }
+        }
+        // Two chips of the same rank with multi-bit faults in the same
+        // word: one catch-word/erasure budget is exceeded -> data loss.
+        for (std::size_t i = 0; i < events.size(); ++i) {
+            const auto &a = events[i];
+            if (!multiBitPerWord(a.kind))
+                continue;
+            for (std::size_t j = i + 1; j < events.size(); ++j) {
+                const auto &b = events[j];
+                if (!multiBitPerWord(b.kind))
+                    continue;
+                if (chipId(a) == chipId(b))
+                    continue;
+                if (a.concurrentWith(b) &&
+                    intersectAtWord(a.range, b.range, layout)) {
+                    keepEarliest(best, std::max(a.timeHours, b.timeHours),
+                                 "multi-chip-data-loss");
+                }
+            }
+        }
+        return best;
+    }
+};
+
+// ---------------------------------------------------------------------
+// Chipkill (single symbol correct) over a lockstep group.
+// ---------------------------------------------------------------------
+class ChipkillScheme : public SchemeBase
+{
+  public:
+    ChipkillScheme(const OnDieOptions &onDie, unsigned chipsPerRank,
+                   unsigned groupRanks, std::string name)
+        : SchemeBase(onDie, chipsPerRank, groupRanks),
+          name_(std::move(name))
+    {
+    }
+
+    std::string name() const override { return name_; }
+
+  protected:
+    std::optional<SchemeFailure>
+    evaluateGroup(const std::vector<FaultEvent> &events,
+                  const AddressLayout &layout, Rng &rng) const override
+    {
+        // Which events reach the symbol code? Multi-bit faults always;
+        // bit-class faults only when there is no on-die ECC, or when
+        // they land in a scaling-faulted word.
+        visible_.clear();
+        for (const auto &e : events) {
+            if (multiBitPerWord(e.kind)) {
+                visible_.push_back(e);
+            } else if (!onDie_.present) {
+                visible_.push_back(e);
+            } else if (onDie_.scalingRate > 0 &&
+                       rng.bernoulli(bitClassEscapeProb(
+                           e.kind, layout, onDie_.scalingRate))) {
+                visible_.push_back(e);
+            }
+        }
+        std::optional<SchemeFailure> best;
+        for (std::size_t i = 0; i < visible_.size(); ++i) {
+            for (std::size_t j = i + 1; j < visible_.size(); ++j) {
+                const auto &a = visible_[i];
+                const auto &b = visible_[j];
+                if (chipId(a) == chipId(b))
+                    continue;
+                if (a.concurrentWith(b) &&
+                    intersectAtWord(a.range, b.range, layout)) {
+                    keepEarliest(best, std::max(a.timeHours, b.timeHours),
+                                 "double-chip");
+                }
+            }
+        }
+        return best;
+    }
+
+  private:
+    std::string name_;
+    mutable std::vector<FaultEvent> visible_;
+};
+
+/** Three distinct chips sharing one word defeat a 2-chip corrector. */
+std::optional<SchemeFailure>
+tripleChipRule(const std::vector<FaultEvent> &visible,
+               const AddressLayout &layout)
+{
+    std::optional<SchemeFailure> best;
+    for (std::size_t i = 0; i < visible.size(); ++i) {
+        for (std::size_t j = i + 1; j < visible.size(); ++j) {
+            const auto &a = visible[i];
+            const auto &b = visible[j];
+            if (chipId(a) == chipId(b))
+                continue;
+            if (!a.concurrentWith(b))
+                continue;
+            const auto ab = intersectRange(a.range, b.range, layout);
+            if (!ab)
+                continue;
+            for (std::size_t k = j + 1; k < visible.size(); ++k) {
+                const auto &c = visible[k];
+                if (chipId(c) == chipId(a) || chipId(c) == chipId(b))
+                    continue;
+                if (!c.concurrentWith(a) || !c.concurrentWith(b))
+                    continue;
+                if (intersectRange(*ab, c.range, layout)) {
+                    keepEarliest(best,
+                                 std::max({a.timeHours, b.timeHours,
+                                           c.timeHours}),
+                                 "triple-chip");
+                }
+            }
+        }
+    }
+    return best;
+}
+
+// ---------------------------------------------------------------------
+// Double-Chipkill: corrects any two faulty chips in the group.
+// ---------------------------------------------------------------------
+class DoubleChipkillScheme : public SchemeBase
+{
+  public:
+    DoubleChipkillScheme(const OnDieOptions &onDie, unsigned chipsPerRank,
+                         bool twinMultiRank, std::string name)
+        : SchemeBase(onDie, chipsPerRank, 2, twinMultiRank),
+          name_(std::move(name))
+    {
+    }
+
+    std::string name() const override { return name_; }
+
+  protected:
+    std::optional<SchemeFailure>
+    evaluateGroup(const std::vector<FaultEvent> &events,
+                  const AddressLayout &layout, Rng &rng) const override
+    {
+        visible_.clear();
+        for (const auto &e : events) {
+            if (multiBitPerWord(e.kind) || !onDie_.present) {
+                visible_.push_back(e);
+            } else if (onDie_.scalingRate > 0 &&
+                       rng.bernoulli(bitClassEscapeProb(
+                           e.kind, layout, onDie_.scalingRate))) {
+                visible_.push_back(e);
+            }
+        }
+        return tripleChipRule(visible_, layout);
+    }
+
+  private:
+    std::string name_;
+    mutable std::vector<FaultEvent> visible_;
+};
+
+// ---------------------------------------------------------------------
+// XED on top of Chipkill: two located erasures on 18 chips (Section IX).
+// ---------------------------------------------------------------------
+class XedChipkillScheme : public SchemeBase
+{
+  public:
+    XedChipkillScheme(const OnDieOptions &onDie, unsigned chipsPerRank,
+                      unsigned groupRanks, std::string name)
+        : SchemeBase(onDie, chipsPerRank, groupRanks),
+          name_(std::move(name))
+    {
+    }
+
+    std::string name() const override { return name_; }
+
+  protected:
+    std::optional<SchemeFailure>
+    evaluateGroup(const std::vector<FaultEvent> &events,
+                  const AddressLayout &layout, Rng &rng) const override
+    {
+        std::optional<SchemeFailure> best;
+        // Undetected transient word faults consume the code's implicit
+        // t=1 random-error budget; alone they are still corrected, but
+        // together with any other faulty chip in the same word the
+        // erasure budget is blown (2v + e > 2) -> DUE.
+        escaped_.clear();
+        visible_.clear();
+        for (const auto &e : events) {
+            if (!multiBitPerWord(e.kind))
+                continue; // corrected on-die (catch-word handles it)
+            visible_.push_back(e);
+            if (e.kind == FaultKind::Word && e.transient &&
+                rng.bernoulli(onDie_.detectionEscapeProb))
+                escaped_.push_back(e);
+        }
+        for (const auto &esc : escaped_) {
+            for (const auto &other : visible_) {
+                if (chipId(other) == chipId(esc))
+                    continue;
+                if (esc.concurrentWith(other) &&
+                    intersectAtWord(esc.range, other.range, layout)) {
+                    keepEarliest(best,
+                                 std::max(esc.timeHours, other.timeHours),
+                                 "due-escape-plus-erasure");
+                }
+            }
+        }
+        if (const auto f = tripleChipRule(visible_, layout))
+            keepEarliest(best, f->timeHours, f->type);
+        return best;
+    }
+
+  private:
+    std::string name_;
+    mutable std::vector<FaultEvent> escaped_;
+    mutable std::vector<FaultEvent> visible_;
+};
+
+} // namespace
+
+std::unique_ptr<Scheme>
+makeScheme(SchemeKind kind, const OnDieOptions &onDie)
+{
+    switch (kind) {
+      case SchemeKind::NonEcc:
+        return std::make_unique<NonEccScheme>(onDie);
+      case SchemeKind::Secded:
+        return std::make_unique<SecdedScheme>(onDie);
+      case SchemeKind::Xed:
+        return std::make_unique<XedScheme>(onDie);
+      case SchemeKind::Chipkill:
+        return std::make_unique<ChipkillScheme>(
+            onDie, 18, 1, "Chipkill (18 chips)");
+      case SchemeKind::ChipkillX8Lockstep:
+        return std::make_unique<ChipkillScheme>(
+            onDie, 9, 2, "Chipkill (x8 lockstep ablation)");
+      case SchemeKind::DoubleChipkill:
+        return std::make_unique<DoubleChipkillScheme>(
+            onDie, 18, /*twinMultiRank=*/false,
+            "Double-Chipkill (36 chips, cross-channel)");
+      case SchemeKind::XedChipkill:
+        return std::make_unique<XedChipkillScheme>(
+            onDie, 18, 1, "XED + Single-Chipkill (18 chips)");
+      case SchemeKind::DoubleChipkillLockstep:
+        return std::make_unique<DoubleChipkillScheme>(
+            onDie, 18, /*twinMultiRank=*/true,
+            "Double-Chipkill (36 chips, lockstep ranks)");
+      case SchemeKind::XedChipkillLockstep:
+        return std::make_unique<XedChipkillScheme>(
+            onDie, 9, 2, "XED + Single-Chipkill (18 chips, lockstep)");
+    }
+    return nullptr;
+}
+
+const char *
+schemeKindName(SchemeKind kind)
+{
+    switch (kind) {
+      case SchemeKind::NonEcc: return "non-ecc";
+      case SchemeKind::Secded: return "secded";
+      case SchemeKind::Xed: return "xed";
+      case SchemeKind::Chipkill: return "chipkill";
+      case SchemeKind::ChipkillX8Lockstep: return "chipkill-x8-lockstep";
+      case SchemeKind::DoubleChipkill: return "double-chipkill";
+      case SchemeKind::XedChipkill: return "xed-chipkill";
+      case SchemeKind::DoubleChipkillLockstep:
+        return "double-chipkill-lockstep";
+      case SchemeKind::XedChipkillLockstep:
+        return "xed-chipkill-lockstep";
+    }
+    return "?";
+}
+
+} // namespace xed::faultsim

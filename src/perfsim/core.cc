@@ -1,0 +1,78 @@
+#include "perfsim/core.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xed::perfsim
+{
+
+Core::Core(unsigned id, const Workload &workload, const CoreParams &params,
+           const TraceGen::AddressSpace &space, std::uint64_t memOpBudget,
+           std::uint64_t seed, unsigned cpuCyclesPerMemCycle)
+    : id_(id), workload_(workload), params_(params),
+      gen_(workload, space, seed), memOpBudget_(memOpBudget),
+      cpuPerMem_(cpuCyclesPerMemCycle),
+      window_(std::min(params.maxMlp, std::max(1u, workload.mlp)))
+{
+}
+
+void
+Core::tick(std::uint64_t now, MemorySystem &memory)
+{
+    if (finished_)
+        return;
+    const double cpuNow = static_cast<double>(now * cpuPerMem_);
+
+    // Retire completed reads in program order (ROB head semantics).
+    while (!outstanding_.empty() && outstanding_.front()->done() &&
+           outstanding_.front()->doneCycle <=
+               static_cast<std::int64_t>(now)) {
+        outstanding_.pop_front();
+    }
+
+    // Issue as much of the in-order stream as this cycle allows.
+    for (unsigned issued = 0; issued < params_.retireWidth; ++issued) {
+        if (!hasPending_) {
+            if (opsIssued_ >= memOpBudget_)
+                break;
+            pending_ = gen_.next();
+            // The preceding non-memory instructions execute at the
+            // sustained non-memory IPC.
+            computeReadyCpu_ =
+                std::max(computeReadyCpu_, cpuNow) +
+                static_cast<double>(pending_.gapInstrs) /
+                    params_.nonMemIpc;
+            hasPending_ = true;
+        }
+        if (computeReadyCpu_ > cpuNow + cpuPerMem_ - 1)
+            break; // still chewing through compute
+        if (pending_.isWrite) {
+            if (!memory.canAcceptWrite(pending_.addr.channel))
+                break; // write buffer back-pressure
+            memory.enqueueWrite(pending_.addr);
+        } else {
+            if (outstanding_.size() >= window_)
+                break; // ROB / MLP limit
+            if (!memory.canAcceptRead(pending_.addr.channel))
+                break;
+            auto req = std::make_unique<MemRequest>();
+            req->addr = pending_.addr;
+            req->core = id_;
+            req->arrivalCycle = now;
+            memory.enqueueRead(req.get());
+            outstanding_.push_back(std::move(req));
+        }
+        hasPending_ = false;
+        ++opsIssued_;
+    }
+
+    if (opsIssued_ >= memOpBudget_ && !hasPending_ &&
+        outstanding_.empty()) {
+        finished_ = true;
+        finishCycle_ = std::max(
+            now, static_cast<std::uint64_t>(
+                     std::ceil(computeReadyCpu_ / cpuPerMem_)));
+    }
+}
+
+} // namespace xed::perfsim

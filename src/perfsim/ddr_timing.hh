@@ -1,0 +1,82 @@
+/**
+ * @file
+ * DDR3-1600 timing and current parameters for the USIMM-style memory
+ * system simulator (Table V: 800MHz bus, 3.2GHz cores, 4 channels,
+ * 2 ranks/channel, 8 banks/rank, 32K rows, 128 lines/row).
+ *
+ * All timing values are in memory-bus cycles (tCK = 1.25ns); the CPU
+ * runs 4 cycles per memory cycle.
+ */
+
+#ifndef XED_PERFSIM_DDR_TIMING_HH
+#define XED_PERFSIM_DDR_TIMING_HH
+
+#include <cstdint>
+
+namespace xed::perfsim
+{
+
+struct TimingParams
+{
+    // DDR3-1600 (11-11-11) in memory cycles.
+    unsigned tRCD = 11;  ///< activate to CAS
+    unsigned tRP = 11;   ///< precharge
+    unsigned tCL = 11;   ///< CAS (read) latency
+    unsigned tCWL = 8;   ///< CAS write latency
+    unsigned tRAS = 28;  ///< activate to precharge
+    unsigned tRC = 39;   ///< activate to activate, same bank
+    unsigned tRRD = 5;   ///< activate to activate, same rank
+    unsigned tFAW = 24;  ///< four-activate window
+    unsigned tWR = 12;   ///< write recovery
+    unsigned tRTP = 6;   ///< read to precharge
+    unsigned tCCD = 4;   ///< CAS to CAS, same rank
+    unsigned tBurst = 4; ///< BL8 on a DDR bus: 4 bus cycles
+    unsigned tRFC = 128; ///< refresh cycle time (2Gb: 160ns)
+    unsigned tREFI = 6240; ///< refresh interval (7.8us)
+
+    double tCkSeconds = 1.25e-9; ///< 800 MHz bus
+    unsigned cpuCyclesPerMemCycle = 4; ///< 3.2 GHz cores
+};
+
+struct CoreParams
+{
+    unsigned robSize = 160;   ///< Table V
+    unsigned retireWidth = 4; ///< Table V (also fetch width)
+    unsigned maxMlp = 16;     ///< upper bound on outstanding reads
+    /**
+     * Sustained IPC on non-memory work. The 4-wide machine of Table V
+     * peaks at 4, but dependence chains hold the memory-intensive
+     * workloads of Section X near 1 between misses; this is the knob
+     * that sets absolute memory intensity.
+     */
+    double nonMemIpc = 1.0;
+};
+
+/**
+ * DDR3 current parameters in the spirit of Micron TN-41-01 (2Gb x8).
+ * The x4 devices of Chipkill/Double-Chipkill systems are modeled with
+ * half the per-chip currents so that a rank of 18 x4 chips matches a
+ * rank of 9 x8 chips -- which keeps the power normalization against the
+ * ECC-DIMM baseline meaningful.
+ */
+struct PowerParams
+{
+    double idd0 = 0.095;  ///< A, activate-precharge average
+    double idd2n = 0.042; ///< A, precharge standby
+    double idd3n = 0.045; ///< A, active standby
+    double idd4r = 0.180; ///< A, read burst
+    double idd4w = 0.185; ///< A, write burst
+    double idd5 = 0.215;  ///< A, refresh burst
+    double vdd = 1.5;     ///< V
+
+    /**
+     * On-Die ECC adds 12.5% more cells per die; the paper raises the
+     * background, refresh, activate and precharge currents by 12.5%
+     * (Section X).
+     */
+    double onDieEccOverhead = 0.125;
+};
+
+} // namespace xed::perfsim
+
+#endif // XED_PERFSIM_DDR_TIMING_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Micron TN-41-01-style DDR3 power model (Section X). Computes memory
+ * power from the event counters of a simulation run:
+ *
+ *   - background power (precharge/active standby, utilization-weighted)
+ *   - activate/precharge energy per rank-activate event
+ *   - read/write burst energy per data-bus cycle
+ *   - refresh energy per per-rank refresh event
+ *
+ * Background, activate and refresh currents carry the +12.5% On-Die
+ * ECC overhead the paper applies.
+ */
+
+#ifndef XED_PERFSIM_POWER_HH
+#define XED_PERFSIM_POWER_HH
+
+#include "perfsim/ddr_timing.hh"
+#include "perfsim/memsys.hh"
+
+namespace xed::perfsim
+{
+
+struct PowerBreakdown
+{
+    double background = 0; ///< W
+    double activate = 0;   ///< W
+    double readWrite = 0;  ///< W
+    double refresh = 0;    ///< W
+
+    double
+    total() const
+    {
+        return background + activate + readWrite + refresh;
+    }
+};
+
+struct PowerConfig
+{
+    TimingParams timing{};
+    PowerParams currents{};
+    /** x8-equivalent chips per rank (a rank of 18 x4 = 9 x8-equiv). */
+    double chipsPerRankEquiv = 9.0;
+    /** Total physical rank-units in the system (Table V: 4ch x 2). */
+    double totalRanks = 8.0;
+    /** Physical data buses (4, regardless of ganging). */
+    double physicalChannels = 4.0;
+    /** IO energy per access relative to one 64B line (ModeEffects). */
+    double ioEnergyScale = 1.0;
+};
+
+/**
+ * Memory power for a run of @p cycles memory cycles with the given
+ * event counters.
+ */
+PowerBreakdown computeMemoryPower(const MemStats &stats,
+                                  std::uint64_t cycles,
+                                  const PowerConfig &config);
+
+} // namespace xed::perfsim
+
+#endif // XED_PERFSIM_POWER_HH

@@ -1,0 +1,78 @@
+#include "perfsim/system.hh"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+namespace xed::perfsim
+{
+
+RunResult
+simulate(const Workload &workload, ProtectionMode mode,
+         const PerfConfig &config)
+{
+    const ModeEffects fx = modeEffects(mode);
+    MemorySystem memory(config.timing, fx, config.seed ^ 0xBEEF);
+
+    TraceGen::AddressSpace space;
+    space.channels = fx.effectiveChannels;
+    space.ranks = fx.effectiveRanks;
+
+    std::vector<std::unique_ptr<Core>> cores;
+    for (unsigned c = 0; c < config.cores; ++c) {
+        cores.push_back(std::make_unique<Core>(
+            c, workload, config.coreParams, space, config.memOpsPerCore,
+            config.seed + 1000003ull * (c + 1),
+            config.timing.cpuCyclesPerMemCycle));
+    }
+
+    std::uint64_t cycle = 0;
+    std::uint64_t lastFinish = 0;
+    for (; cycle < config.maxCycles; ++cycle) {
+        memory.tick(cycle);
+        bool allDone = true;
+        for (auto &core : cores) {
+            core->tick(cycle, memory);
+            allDone &= core->finished();
+        }
+        if (allDone && memory.drained()) {
+            for (const auto &core : cores)
+                lastFinish = std::max(lastFinish, core->finishCycle());
+            break;
+        }
+    }
+    if (lastFinish == 0)
+        lastFinish = cycle;
+
+    RunResult result;
+    result.mode = fx.label;
+    result.workload = workload.name;
+    result.cycles = std::max(lastFinish, cycle);
+    result.seconds =
+        static_cast<double>(result.cycles) * config.timing.tCkSeconds;
+    result.stats = memory.stats();
+
+    PowerConfig pc;
+    pc.timing = config.timing;
+    pc.currents = config.currents;
+    pc.ioEnergyScale = fx.ioEnergyScale;
+    result.power = computeMemoryPower(result.stats, result.cycles, pc);
+    return result;
+}
+
+NormalizedResult
+normalizedAgainstBaseline(const Workload &workload, ProtectionMode mode,
+                          const PerfConfig &config)
+{
+    const auto baseline =
+        simulate(workload, ProtectionMode::SecdedBaseline, config);
+    const auto run = simulate(workload, mode, config);
+    NormalizedResult out;
+    out.execTime = static_cast<double>(run.cycles) /
+                   static_cast<double>(baseline.cycles);
+    out.memoryPower =
+        run.memoryPowerWatts() / baseline.memoryPowerWatts();
+    return out;
+}
+
+} // namespace xed::perfsim

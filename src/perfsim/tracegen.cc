@@ -1,0 +1,48 @@
+#include "perfsim/tracegen.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xed::perfsim
+{
+
+TraceGen::TraceGen(const Workload &workload, const AddressSpace &space,
+                   std::uint64_t seed)
+    : workload_(workload), space_(space), rng_(seed)
+{
+    current_.channel = static_cast<unsigned>(rng_.below(space_.channels));
+    current_.rank = static_cast<unsigned>(rng_.below(space_.ranks));
+    current_.bank = static_cast<unsigned>(rng_.below(space_.banks));
+    current_.row = static_cast<unsigned>(rng_.below(space_.rows));
+    current_.col = static_cast<unsigned>(rng_.below(space_.cols));
+}
+
+MemOp
+TraceGen::next()
+{
+    MemOp op;
+    // Memory operations per kilo-instruction: reads (MPKI) plus the
+    // proportional writeback traffic.
+    const double opsPerKiloInstr =
+        workload_.mpki / (1.0 - workload_.writeFraction);
+    const double meanGap = 1000.0 / opsPerKiloInstr;
+    op.gapInstrs = static_cast<unsigned>(
+        std::min(1e6, rng_.exponential(1.0 / meanGap)));
+    op.isWrite = rng_.bernoulli(workload_.writeFraction);
+
+    if (rng_.bernoulli(workload_.rowHitRate)) {
+        // Stay in the open row: next line of the same row.
+        current_.col = (current_.col + 1) % space_.cols;
+    } else {
+        current_.channel =
+            static_cast<unsigned>(rng_.below(space_.channels));
+        current_.rank = static_cast<unsigned>(rng_.below(space_.ranks));
+        current_.bank = static_cast<unsigned>(rng_.below(space_.banks));
+        current_.row = static_cast<unsigned>(rng_.below(space_.rows));
+        current_.col = static_cast<unsigned>(rng_.below(space_.cols));
+    }
+    op.addr = current_;
+    return op;
+}
+
+} // namespace xed::perfsim

@@ -1,0 +1,45 @@
+#include "xed/fct.hh"
+
+#include <algorithm>
+
+namespace xed
+{
+
+std::optional<unsigned>
+FaultyRowChipTracker::lookup(unsigned bank, unsigned row) const
+{
+    for (const auto &e : entries_)
+        if (e.bank == bank && e.row == row)
+            return e.chip;
+    return std::nullopt;
+}
+
+bool
+FaultyRowChipTracker::record(unsigned bank, unsigned row, unsigned chip)
+{
+    // Refresh an existing entry for this row if present.
+    for (auto &e : entries_) {
+        if (e.bank == bank && e.row == row) {
+            e.chip = chip;
+            return size() == capacity_ && unanimousChip().has_value();
+        }
+    }
+    if (entries_.size() == capacity_)
+        entries_.erase(entries_.begin()); // FIFO eviction
+    entries_.push_back({bank, row, chip});
+    return size() == capacity_ && unanimousChip().has_value();
+}
+
+std::optional<unsigned>
+FaultyRowChipTracker::unanimousChip() const
+{
+    if (entries_.empty())
+        return std::nullopt;
+    const unsigned chip = entries_.front().chip;
+    const bool same =
+        std::all_of(entries_.begin(), entries_.end(),
+                    [chip](const Entry &e) { return e.chip == chip; });
+    return same ? std::optional<unsigned>{chip} : std::nullopt;
+}
+
+} // namespace xed

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Faulty-row Chip Tracker (FCT), Section VI-A.
+ *
+ * A small hardware structure (4-8 entries) caching the result of
+ * Inter-Line Fault Diagnosis: which chip was found faulty for a given
+ * (bank, row). A single row failure populates one entry; a column or
+ * bank failure quickly fills every entry with the same chip, at which
+ * point that chip is permanently marked faulty and all subsequent
+ * accesses reconstruct its data from parity without re-running the
+ * expensive 128-read diagnosis.
+ */
+
+#ifndef XED_XED_FCT_HH
+#define XED_XED_FCT_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace xed
+{
+
+class FaultyRowChipTracker
+{
+  public:
+    struct Entry
+    {
+        unsigned bank = 0;
+        unsigned row = 0;
+        unsigned chip = 0;
+    };
+
+    explicit FaultyRowChipTracker(unsigned capacity = 8)
+        : capacity_(capacity)
+    {
+    }
+
+    unsigned capacity() const { return capacity_; }
+    unsigned size() const { return static_cast<unsigned>(entries_.size()); }
+
+    /** Chip recorded for (bank,row), if any. */
+    std::optional<unsigned> lookup(unsigned bank, unsigned row) const;
+
+    /**
+     * Record a diagnosis result. FIFO replacement when full. Returns
+     * true if, after insertion, the tracker is full and every entry
+     * points at the same chip -- the condition under which the
+     * controller permanently marks that chip as faulty.
+     */
+    bool record(unsigned bank, unsigned row, unsigned chip);
+
+    /** Chip every entry agrees on (only meaningful when full). */
+    std::optional<unsigned> unanimousChip() const;
+
+    void clear() { entries_.clear(); }
+
+    const std::vector<Entry> &entries() const { return entries_; }
+
+  private:
+    unsigned capacity_;
+    std::vector<Entry> entries_;
+};
+
+} // namespace xed
+
+#endif // XED_XED_FCT_HH

@@ -1,0 +1,94 @@
+#include "xed/xed_system.hh"
+
+#include <stdexcept>
+
+namespace xed
+{
+
+XedSystem::XedSystem(const XedSystemConfig &config) : config_(config)
+{
+    if (!isPow2(config_.channels) || !isPow2(config_.ranksPerChannel))
+        throw std::invalid_argument(
+            "XedSystem: channel/rank counts must be powers of two");
+    Rng seeder(config_.seed);
+    for (unsigned c = 0; c < config_.channels; ++c) {
+        for (unsigned r = 0; r < config_.ranksPerChannel; ++r) {
+            auto cfg = config_.controller;
+            cfg.seed = seeder.next();
+            controllers_.push_back(
+                std::make_unique<XedController>(cfg));
+        }
+    }
+}
+
+std::uint64_t
+XedSystem::capacityBytes() const
+{
+    const auto &g = config_.controller.geometry;
+    // 8 data chips x 8 bytes per word per line.
+    return static_cast<std::uint64_t>(config_.channels) *
+           config_.ranksPerChannel * g.words() * 64;
+}
+
+SystemAddress
+XedSystem::decode(std::uint64_t physAddr) const
+{
+    const auto &g = config_.controller.geometry;
+    SystemAddress out;
+    std::uint64_t a = physAddr >> 6; // drop the byte offset
+    out.channel = static_cast<unsigned>(a & (config_.channels - 1));
+    a /= config_.channels;
+    out.line.bank = static_cast<unsigned>(a & lowMask(g.bankBits));
+    a >>= g.bankBits;
+    out.line.col = static_cast<unsigned>(a & lowMask(g.colBits));
+    a >>= g.colBits;
+    out.rank =
+        static_cast<unsigned>(a & (config_.ranksPerChannel - 1));
+    a /= config_.ranksPerChannel;
+    out.line.row = static_cast<unsigned>(a & lowMask(g.rowBits));
+    return out;
+}
+
+std::uint64_t
+XedSystem::encode(const SystemAddress &addr) const
+{
+    const auto &g = config_.controller.geometry;
+    std::uint64_t a = addr.line.row;
+    a = a * config_.ranksPerChannel + addr.rank;
+    a = (a << g.colBits) | addr.line.col;
+    a = (a << g.bankBits) | addr.line.bank;
+    a = a * config_.channels + addr.channel;
+    return a << 6;
+}
+
+XedController &
+XedSystem::controller(unsigned channel, unsigned rank)
+{
+    return *controllers_[channel * config_.ranksPerChannel + rank];
+}
+
+void
+XedSystem::writeLine(std::uint64_t physAddr,
+                     std::span<const std::uint64_t, 8> data)
+{
+    const auto addr = decode(physAddr);
+    controller(addr.channel, addr.rank).writeLine(addr.line, data);
+}
+
+LineReadResult
+XedSystem::readLine(std::uint64_t physAddr)
+{
+    const auto addr = decode(physAddr);
+    return controller(addr.channel, addr.rank).readLine(addr.line);
+}
+
+std::uint64_t
+XedSystem::totalCounter(const std::string &name) const
+{
+    std::uint64_t total = 0;
+    for (const auto &ctrl : controllers_)
+        total += ctrl->counters().get(name);
+    return total;
+}
+
+} // namespace xed

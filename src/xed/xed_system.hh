@@ -1,0 +1,95 @@
+/**
+ * @file
+ * System-level facade: the Table V memory system (4 channels x 2 ranks
+ * of 9-chip XED DIMMs) behind a single physical-address interface.
+ *
+ * A downstream user adopting the library talks to this class: it
+ * decodes 64B-line physical addresses into (channel, rank, bank, row,
+ * column), routes to the per-rank XedController, and aggregates the
+ * correction/diagnosis counters across the whole system.
+ *
+ * Address mapping (line-interleaved, low bits spread across channels
+ * for bandwidth, then banks for bank-level parallelism):
+ *
+ *   bits [5:0]   byte offset within the 64B line
+ *   bits [7:6]   channel
+ *   bits [10:8]  bank
+ *   bits [17:11] column (line within the row)
+ *   bit  [18]    rank
+ *   bits [33:19] row
+ */
+
+#ifndef XED_XED_XED_SYSTEM_HH
+#define XED_XED_XED_SYSTEM_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "xed/controller.hh"
+
+namespace xed
+{
+
+/** Fully decoded location of one cache line. */
+struct SystemAddress
+{
+    unsigned channel = 0;
+    unsigned rank = 0;
+    dram::WordAddr line{};
+
+    friend bool
+    operator==(const SystemAddress &a, const SystemAddress &b)
+    {
+        return a.channel == b.channel && a.rank == b.rank &&
+               a.line == b.line;
+    }
+};
+
+struct XedSystemConfig
+{
+    unsigned channels = 4;       ///< Table V
+    unsigned ranksPerChannel = 2;
+    XedControllerConfig controller{};
+    std::uint64_t seed = 0x5E57EE;
+};
+
+class XedSystem
+{
+  public:
+    explicit XedSystem(const XedSystemConfig &config = {});
+
+    unsigned channels() const { return config_.channels; }
+    unsigned ranksPerChannel() const { return config_.ranksPerChannel; }
+
+    /** Total addressable bytes (channels x ranks x rank capacity). */
+    std::uint64_t capacityBytes() const;
+
+    /** Decode a line-aligned physical address. */
+    SystemAddress decode(std::uint64_t physAddr) const;
+    /** Inverse of decode (byte offset zero). */
+    std::uint64_t encode(const SystemAddress &addr) const;
+
+    /** Write one 64B line (8 x 64-bit words) at a physical address. */
+    void writeLine(std::uint64_t physAddr,
+                   std::span<const std::uint64_t, 8> data);
+
+    /** Read one 64B line through the full XED pipeline. */
+    LineReadResult readLine(std::uint64_t physAddr);
+
+    /** The rank controller backing a location (fault-injection access). */
+    XedController &controller(unsigned channel, unsigned rank);
+
+    /** Sum of a named counter across every rank controller. */
+    std::uint64_t totalCounter(const std::string &name) const;
+
+  private:
+    XedSystemConfig config_;
+    std::vector<std::unique_ptr<XedController>> controllers_;
+};
+
+} // namespace xed
+
+#endif // XED_XED_XED_SYSTEM_HH

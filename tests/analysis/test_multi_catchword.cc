@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "analysis/multi_catchword.hh"
+#include "common/rng.hh"
+
+namespace xed::analysis
+{
+namespace
+{
+
+TEST(MultiCatchword, WordScalingFaultProbability)
+{
+    EXPECT_DOUBLE_EQ(probWordHasScalingFault(0), 0.0);
+    EXPECT_NEAR(probWordHasScalingFault(1e-4), 64e-4, 3e-5);
+    EXPECT_NEAR(probWordHasScalingFault(1e-6), 64e-6, 1e-8);
+}
+
+TEST(MultiCatchword, PaperTable3Values)
+{
+    // Table III: 2e-5 / 2e-7 / 2e-9 at scaling rates 1e-4/1e-5/1e-6.
+    EXPECT_NEAR(paperTable3Value(1e-4), 2e-5, 0.1e-5);
+    EXPECT_NEAR(paperTable3Value(1e-5), 2e-7, 0.1e-7);
+    EXPECT_NEAR(paperTable3Value(1e-6), 2e-9, 0.1e-9);
+}
+
+TEST(MultiCatchword, BinomialModelAgainstMonteCarlo)
+{
+    Rng rng(7);
+    const double rate = 1e-3; // scaled up so the MC converges quickly
+    const double p = probWordHasScalingFault(rate);
+    int multi = 0;
+    const int accesses = 400000;
+    for (int a = 0; a < accesses; ++a) {
+        int catchWords = 0;
+        for (int chip = 0; chip < 9; ++chip)
+            catchWords += rng.bernoulli(p) ? 1 : 0;
+        multi += (catchWords >= 2) ? 1 : 0;
+    }
+    const double observed = static_cast<double>(multi) / accesses;
+    const double expected = probMultipleCatchWords(rate, 9);
+    EXPECT_NEAR(observed / expected, 1.0, 0.15);
+}
+
+TEST(MultiCatchword, SerialModeFrequency)
+{
+    // Section VII-B: "once every 200K accesses even for a high error
+    // rate of 1e-4" -- with the paper's own per-pair formula. The full
+    // 9-chip binomial gives roughly one in 700 accesses; both are
+    // printed by the bench.
+    EXPECT_NEAR(1.0 / paperTable3Value(1e-4), 48828.0, 1000.0);
+    EXPECT_GT(accessesBetweenMultiCatchWords(1e-4), 500.0);
+}
+
+TEST(MultiCatchword, MonotoneInRateAndChips)
+{
+    EXPECT_LT(probMultipleCatchWords(1e-6), probMultipleCatchWords(1e-5));
+    EXPECT_LT(probMultipleCatchWords(1e-5), probMultipleCatchWords(1e-4));
+    EXPECT_LT(probMultipleCatchWords(1e-4, 9),
+              probMultipleCatchWords(1e-4, 18));
+}
+
+} // namespace
+} // namespace xed::analysis

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "analysis/sdc_due.hh"
+#include "faultsim/engine.hh"
+
+namespace xed::analysis
+{
+namespace
+{
+
+TEST(BinomialTail, ExactSmallCases)
+{
+    // X ~ Binomial(3, 0.5): P(X>=2) = 0.5, P(X>=1) = 7/8, P(X>=0) = 1.
+    EXPECT_NEAR(binomialTail(3, 0.5, 2), 0.5, 1e-12);
+    EXPECT_NEAR(binomialTail(3, 0.5, 1), 7.0 / 8.0, 1e-12);
+    EXPECT_DOUBLE_EQ(binomialTail(3, 0.5, 0), 1.0);
+    EXPECT_NEAR(binomialTail(3, 0.5, 3), 1.0 / 8.0, 1e-12);
+    EXPECT_DOUBLE_EQ(binomialTail(10, 0.0, 1), 0.0);
+}
+
+TEST(BinomialTail, MatchesComplementOfCdf)
+{
+    // Sum of all point masses is 1.
+    const double p = 0.3;
+    double acc = 0;
+    for (unsigned k = 0; k <= 20; ++k)
+        acc += binomialTail(20, p, k) - binomialTail(20, p, k + 1);
+    EXPECT_NEAR(acc, 1.0, 1e-9);
+}
+
+TEST(SdcDue, TransientWordFaultProbMatchesPaper)
+{
+    // Section VIII: 7.7e-4 over 7 years (9 chips x 1.4 FIT).
+    XedVulnerabilityModel m;
+    EXPECT_NEAR(m.transientWordFaultProbPerRank(), 7.7e-4, 0.4e-4);
+}
+
+TEST(SdcDue, DueRateMatchesTable4)
+{
+    // Table IV: 6.1e-6.
+    XedVulnerabilityModel m;
+    EXPECT_NEAR(m.dueRatePerRank(), 6.1e-6, 0.4e-6);
+}
+
+TEST(SdcDue, MisdiagnosisProbIsAboutTenToMinus12)
+{
+    // Section VIII: "negligibly small (1e-12) under scaling fault rate
+    // of 1e-4".
+    XedVulnerabilityModel m;
+    const double p = m.misdiagnosisProbPerRow();
+    EXPECT_GT(p, 1e-14);
+    EXPECT_LT(p, 1e-10);
+}
+
+TEST(SdcDue, SdcRateMatchesTable4Magnitude)
+{
+    // Table IV: 1.4e-13.
+    XedVulnerabilityModel m;
+    const double rate = m.sdcRatePerRank();
+    EXPECT_GT(rate, 1e-15);
+    EXPECT_LT(rate, 1e-11);
+}
+
+TEST(SdcDue, MultiChipDataLossMatchesTable4)
+{
+    // Table IV: 5.8e-4 for the whole system over 7 years.
+    XedVulnerabilityModel m;
+    EXPECT_NEAR(m.multiChipDataLossProb(), 5.8e-4, 3.0e-4);
+}
+
+TEST(SdcDue, AnalyticMatchesMonteCarlo)
+{
+    // The closed-form multi-chip estimate must agree with the fault
+    // simulator's XED data-loss count.
+    XedVulnerabilityModel m;
+    faultsim::McConfig cfg;
+    cfg.systems = 1000000;
+    cfg.seed = 0xAB;
+    const auto scheme =
+        faultsim::makeScheme(faultsim::SchemeKind::Xed, {});
+    const auto result = faultsim::runMonteCarlo(*scheme, cfg);
+    const double mc =
+        static_cast<double>(
+            result.failureTypes.get("multi-chip-data-loss")) /
+        static_cast<double>(cfg.systems);
+    EXPECT_NEAR(m.multiChipDataLossProb() / mc, 1.0, 0.35);
+}
+
+TEST(SdcDue, DueIsTwoOrdersBelowDataLoss)
+{
+    // The paper's closing argument of Section VIII: the 6.1e-6 DUE
+    // rate is ~two orders of magnitude below the 5.8e-4 multi-chip
+    // data-loss probability (the exact paper ratio is 95x).
+    XedVulnerabilityModel m;
+    EXPECT_LT(m.dueRatePerRank() * 50.0, m.multiChipDataLossProb());
+}
+
+} // namespace
+} // namespace xed::analysis

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "common/bitops.hh"
+
+namespace xed
+{
+namespace
+{
+
+TEST(Bitops, Popcount)
+{
+    EXPECT_EQ(popcount64(0), 0);
+    EXPECT_EQ(popcount64(1), 1);
+    EXPECT_EQ(popcount64(0xFFFFFFFFFFFFFFFFull), 64);
+    EXPECT_EQ(popcount64(0x8000000000000001ull), 2);
+}
+
+TEST(Bitops, Parity)
+{
+    EXPECT_EQ(parity64(0), 0);
+    EXPECT_EQ(parity64(1), 1);
+    EXPECT_EQ(parity64(3), 0);
+    EXPECT_EQ(parity64(7), 1);
+}
+
+TEST(Bitops, GetSetFlip)
+{
+    std::uint64_t v = 0;
+    v = setBit(v, 5, 1);
+    EXPECT_EQ(getBit(v, 5), 1);
+    EXPECT_EQ(getBit(v, 4), 0);
+    v = flipBit(v, 5);
+    EXPECT_EQ(v, 0u);
+    v = setBit(v, 63, 1);
+    EXPECT_EQ(v, 0x8000000000000000ull);
+    v = setBit(v, 63, 0);
+    EXPECT_EQ(v, 0u);
+}
+
+TEST(Bitops, LowMask)
+{
+    EXPECT_EQ(lowMask(0), 0u);
+    EXPECT_EQ(lowMask(1), 1u);
+    EXPECT_EQ(lowMask(8), 0xFFu);
+    EXPECT_EQ(lowMask(64), ~std::uint64_t{0});
+}
+
+TEST(Bitops, BitField)
+{
+    const std::uint64_t v = 0xABCD1234u;
+    EXPECT_EQ(bitField(v, 0, 4), 0x4u);
+    EXPECT_EQ(bitField(v, 4, 8), 0x23u);
+    EXPECT_EQ(bitField(v, 16, 16), 0xABCDu);
+}
+
+TEST(Bitops, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(4), 2u);
+    EXPECT_EQ(ceilLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1025), 11u);
+}
+
+TEST(Bitops, IsPow2)
+{
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(2));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_TRUE(isPow2(1ull << 40));
+    EXPECT_FALSE(isPow2((1ull << 40) + 1));
+}
+
+} // namespace
+} // namespace xed

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hh"
+#include "common/units.hh"
+
+namespace xed
+{
+namespace
+{
+
+TEST(RunningStat, Empty)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, MeanVarianceMinMax)
+{
+    RunningStat s;
+    for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Proportion, Basic)
+{
+    Proportion p;
+    for (int i = 0; i < 30; ++i)
+        p.add(i < 3);
+    EXPECT_EQ(p.successes(), 3u);
+    EXPECT_EQ(p.trials(), 30u);
+    EXPECT_DOUBLE_EQ(p.value(), 0.1);
+}
+
+TEST(Proportion, IntervalBracketsTruth)
+{
+    Proportion p;
+    p.addMany(100, 1000);
+    EXPECT_LT(p.lower95(), 0.1);
+    EXPECT_GT(p.upper95(), 0.1);
+    EXPECT_GT(p.lower95(), 0.0);
+    EXPECT_LT(p.upper95(), 1.0);
+}
+
+TEST(Proportion, ZeroSuccessesStaysNonNegative)
+{
+    Proportion p;
+    p.addMany(0, 100000);
+    EXPECT_EQ(p.value(), 0.0);
+    EXPECT_GE(p.lower95(), 0.0);
+    EXPECT_GT(p.upper95(), 0.0);
+}
+
+TEST(Proportion, IntervalShrinksWithSamples)
+{
+    Proportion small, large;
+    small.addMany(10, 100);
+    large.addMany(1000, 10000);
+    EXPECT_GT(small.halfWidth95(), large.halfWidth95());
+}
+
+TEST(CounterSet, IncrementAndLookup)
+{
+    CounterSet c;
+    EXPECT_EQ(c.get("due"), 0u);
+    c.inc("due");
+    c.inc("due", 4);
+    c.inc("sdc");
+    EXPECT_EQ(c.get("due"), 5u);
+    EXPECT_EQ(c.get("sdc"), 1u);
+    EXPECT_EQ(c.all().size(), 2u);
+}
+
+TEST(Units, FitConversions)
+{
+    // 1 FIT = 1e-9 failures/hour; over 1e9 hours expect exactly 1.
+    EXPECT_DOUBLE_EQ(fitToPerHour(14.2), 14.2e-9);
+    EXPECT_DOUBLE_EQ(fitToExpectedEvents(1.0, 1e9), 1.0);
+    // The paper's transient word-fault example: 1.4 FIT * 9 chips * 7y
+    // = 7.7e-4 (Section VIII).
+    const double rate = fitToExpectedEvents(1.4, evaluationHours) * 9.0;
+    EXPECT_NEAR(rate, 7.7e-4, 0.4e-4);
+}
+
+TEST(Units, ByteSuffixes)
+{
+    EXPECT_EQ(2_Gi, 2ull << 30);
+    EXPECT_EQ(4_Ki, 4096u);
+    EXPECT_EQ(8_Mi, 8ull << 20);
+}
+
+} // namespace
+} // namespace xed

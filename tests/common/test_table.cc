@@ -1,0 +1,50 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/table.hh"
+
+namespace xed
+{
+namespace
+{
+
+TEST(Table, AlignedOutputContainsCells)
+{
+    Table t({"Scheme", "P(fail)"});
+    t.addRow({"XED", "6.4e-04"});
+    t.addRow({"Chipkill", "2.6e-03"});
+    std::ostringstream os;
+    t.print(os, "Figure 7");
+    const std::string out = os.str();
+    EXPECT_NE(out.find("Figure 7"), std::string::npos);
+    EXPECT_NE(out.find("Scheme"), std::string::npos);
+    EXPECT_NE(out.find("XED"), std::string::npos);
+    EXPECT_NE(out.find("2.6e-03"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RowWidthMismatchThrows)
+{
+    Table t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, Csv)
+{
+    Table t({"x", "y"});
+    t.addRow({"1", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(Table, Formatters)
+{
+    EXPECT_EQ(Table::fmt(1.23456, 2), "1.23");
+    EXPECT_EQ(Table::sci(0.000123, 2), "1.23e-04");
+    EXPECT_EQ(Table::pct(0.5073, 2), "50.73%");
+}
+
+} // namespace
+} // namespace xed

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "dram/fault_injector.hh"
+
+namespace xed::dram
+{
+namespace
+{
+
+class FaultInjectorTest : public ::testing::Test
+{
+  protected:
+    ChipGeometry g;
+    FaultInjector injector{g};
+};
+
+TEST_F(FaultInjectorTest, NoFaultsNoCorruption)
+{
+    EXPECT_TRUE(injector.corruption({0, 0, 0}, 0).isZero());
+    EXPECT_FALSE(injector.touches({1, 2, 3}));
+}
+
+TEST_F(FaultInjectorTest, SingleBitFlipsExactlyOneBit)
+{
+    Fault f;
+    f.granularity = FaultGranularity::SingleBit;
+    f.permanent = true;
+    f.addr = {2, 100, 5};
+    f.bitPos = 17;
+    injector.add(f);
+
+    const auto mask = injector.corruption({2, 100, 5}, 0);
+    EXPECT_EQ(mask.weight(), 1);
+    EXPECT_EQ(mask.bit(17), 1);
+    EXPECT_TRUE(injector.corruption({2, 100, 6}, 0).isZero());
+    EXPECT_TRUE(injector.corruption({2, 101, 5}, 0).isZero());
+}
+
+TEST_F(FaultInjectorTest, WordFaultIsMultiBit)
+{
+    Fault f;
+    f.granularity = FaultGranularity::SingleWord;
+    f.permanent = true;
+    f.addr = {0, 1, 2};
+    f.seed = 99;
+    injector.add(f);
+
+    const auto mask = injector.corruption({0, 1, 2}, 0);
+    EXPECT_GE(mask.weight(), 2);
+    EXPECT_TRUE(injector.corruption({0, 1, 3}, 0).isZero());
+}
+
+TEST_F(FaultInjectorTest, ColumnFaultHitsAllRowsOneBitEach)
+{
+    Fault f;
+    f.granularity = FaultGranularity::SingleColumn;
+    f.permanent = true;
+    f.addr = {3, 0, 42};
+    f.bitPos = 8;
+    injector.add(f);
+
+    for (unsigned row : {0u, 1u, 999u, 32767u}) {
+        const auto mask = injector.corruption({3, row, 42}, 0);
+        EXPECT_EQ(mask.weight(), 1) << row;
+        EXPECT_EQ(mask.bit(8), 1) << row;
+    }
+    EXPECT_TRUE(injector.corruption({3, 5, 41}, 0).isZero());
+    EXPECT_TRUE(injector.corruption({2, 5, 42}, 0).isZero());
+}
+
+TEST_F(FaultInjectorTest, RowFaultHitsWholeRow)
+{
+    Fault f;
+    f.granularity = FaultGranularity::SingleRow;
+    f.permanent = true;
+    f.addr = {1, 77, 0};
+    f.seed = 7;
+    injector.add(f);
+
+    for (unsigned col = 0; col < g.colsPerRow(); ++col)
+        EXPECT_GE(injector.corruption({1, 77, col}, 0).weight(), 2);
+    EXPECT_TRUE(injector.corruption({1, 78, 0}, 0).isZero());
+    EXPECT_TRUE(injector.corruption({0, 77, 0}, 0).isZero());
+}
+
+TEST_F(FaultInjectorTest, BankFaultHitsWholeBankOnly)
+{
+    Fault f;
+    f.granularity = FaultGranularity::SingleBank;
+    f.permanent = true;
+    f.addr = {6, 0, 0};
+    f.seed = 13;
+    injector.add(f);
+
+    EXPECT_GE(injector.corruption({6, 0, 0}, 0).weight(), 2);
+    EXPECT_GE(injector.corruption({6, 31000, 127}, 0).weight(), 2);
+    EXPECT_TRUE(injector.corruption({5, 31000, 127}, 0).isZero());
+}
+
+TEST_F(FaultInjectorTest, ChipFaultHitsEverything)
+{
+    Fault f;
+    f.granularity = FaultGranularity::Chip;
+    f.permanent = true;
+    f.seed = 21;
+    injector.add(f);
+
+    EXPECT_GE(injector.corruption({0, 0, 0}, 0).weight(), 2);
+    EXPECT_GE(injector.corruption({7, 32767, 127}, 0).weight(), 2);
+}
+
+TEST_F(FaultInjectorTest, TransientClearedByRewrite)
+{
+    Fault f;
+    f.granularity = FaultGranularity::SingleWord;
+    f.permanent = false;
+    f.addr = {0, 0, 0};
+    f.seed = 5;
+    f.epoch = 10;
+    injector.add(f);
+
+    // Written before the fault: corruption visible.
+    EXPECT_FALSE(injector.corruption({0, 0, 0}, 9).isZero());
+    // Rewritten after the fault: clean.
+    EXPECT_TRUE(injector.corruption({0, 0, 0}, 11).isZero());
+}
+
+TEST_F(FaultInjectorTest, PermanentSurvivesRewrite)
+{
+    Fault f;
+    f.granularity = FaultGranularity::SingleWord;
+    f.permanent = true;
+    f.addr = {0, 0, 0};
+    f.seed = 5;
+    f.epoch = 10;
+    injector.add(f);
+
+    EXPECT_FALSE(injector.corruption({0, 0, 0}, 99).isZero());
+}
+
+TEST_F(FaultInjectorTest, ClearTransientsKeepsPermanents)
+{
+    Fault t;
+    t.permanent = false;
+    t.addr = {0, 0, 0};
+    Fault p;
+    p.granularity = FaultGranularity::SingleBit;
+    p.permanent = true;
+    p.addr = {0, 0, 1};
+    p.bitPos = 3;
+    injector.add(t);
+    injector.add(p);
+    injector.clearTransients();
+    ASSERT_EQ(injector.faults().size(), 1u);
+    EXPECT_TRUE(injector.faults()[0].permanent);
+}
+
+TEST_F(FaultInjectorTest, DeterministicMasks)
+{
+    Fault f;
+    f.granularity = FaultGranularity::SingleRow;
+    f.permanent = true;
+    f.addr = {1, 2, 0};
+    f.seed = 1234;
+    injector.add(f);
+    const auto a = injector.corruption({1, 2, 9}, 0);
+    const auto b = injector.corruption({1, 2, 9}, 0);
+    EXPECT_EQ(a, b);
+    // Different words of the row get (almost surely) different patterns.
+    const auto c = injector.corruption({1, 2, 10}, 0);
+    EXPECT_FALSE(a == c);
+}
+
+} // namespace
+} // namespace xed::dram

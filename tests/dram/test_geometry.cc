@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+#include "dram/geometry.hh"
+
+namespace xed::dram
+{
+namespace
+{
+
+TEST(Geometry, DefaultsMatchTableV)
+{
+    const ChipGeometry g;
+    EXPECT_EQ(g.banks(), 8u);
+    EXPECT_EQ(g.rowsPerBank(), 32u * 1024u);
+    EXPECT_EQ(g.colsPerRow(), 128u);
+    EXPECT_EQ(g.bitsPerWord(), 64u);
+    // A 2Gb x8 device.
+    EXPECT_EQ(g.bits(), 2_Gi);
+    EXPECT_EQ(g.words(), 2_Gi / 64);
+    EXPECT_EQ(g.wordAddrBits(), 25u);
+}
+
+TEST(Geometry, PackUnpackRoundTrip)
+{
+    const ChipGeometry g;
+    for (unsigned bank = 0; bank < g.banks(); ++bank) {
+        const WordAddr a{bank, 12345u % static_cast<unsigned>(
+                                    g.rowsPerBank()),
+                         bank * 7 % g.colsPerRow()};
+        const auto packed = packWordAddr(g, a);
+        EXPECT_LT(packed, g.words());
+        const auto back = unpackWordAddr(g, packed);
+        EXPECT_EQ(back, a);
+    }
+}
+
+TEST(Geometry, PackIsInjectiveOverFields)
+{
+    const ChipGeometry g;
+    const WordAddr a{1, 2, 3};
+    const WordAddr b{1, 2, 4};
+    const WordAddr c{1, 3, 3};
+    const WordAddr d{2, 2, 3};
+    EXPECT_NE(packWordAddr(g, a), packWordAddr(g, b));
+    EXPECT_NE(packWordAddr(g, a), packWordAddr(g, c));
+    EXPECT_NE(packWordAddr(g, a), packWordAddr(g, d));
+}
+
+TEST(Geometry, RankConfig)
+{
+    const RankConfig r;
+    EXPECT_EQ(r.chips(), 9u);
+}
+
+} // namespace
+} // namespace xed::dram

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "ecc/crc8atm.hh"
+
+namespace xed::ecc
+{
+namespace
+{
+
+class Crc8AtmTest : public ::testing::Test
+{
+  protected:
+    Crc8Atm code;
+};
+
+TEST_F(Crc8AtmTest, EncodeRoundTrip)
+{
+    Rng rng(1);
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t data = rng.next();
+        const Word72 word = code.encode(data);
+        EXPECT_TRUE(code.isValidCodeword(word));
+        EXPECT_EQ(code.extractData(word), data);
+        const auto result = code.decode(word);
+        EXPECT_EQ(result.status, DecodeStatus::NoError);
+        EXPECT_EQ(result.data, data);
+    }
+}
+
+TEST_F(Crc8AtmTest, KnownCrcOfZeroIsZero)
+{
+    EXPECT_EQ(code.crc(0), 0);
+    const Word72 zero = code.encode(0);
+    EXPECT_EQ(zero.lo, 0u);
+    EXPECT_EQ(zero.hi, 0u);
+}
+
+TEST_F(Crc8AtmTest, CorrectsEverySingleBitError)
+{
+    Rng rng(2);
+    const std::uint64_t data = rng.next();
+    const Word72 word = code.encode(data);
+    for (unsigned pos = 0; pos < codeLength; ++pos) {
+        Word72 corrupted = word;
+        corrupted.flip(pos);
+        const auto result = code.decode(corrupted);
+        EXPECT_EQ(result.status, DecodeStatus::CorrectedSingle) << pos;
+        EXPECT_EQ(result.data, data) << pos;
+    }
+}
+
+TEST_F(Crc8AtmTest, DetectsEveryDoubleBitError)
+{
+    // (x+1) | g(x) plus distinct single-bit syndromes make the code a
+    // true SECDED over 72 bits.
+    Rng rng(3);
+    const std::uint64_t data = rng.next();
+    const Word72 word = code.encode(data);
+    for (unsigned a = 0; a < codeLength; ++a) {
+        for (unsigned b = a + 1; b < codeLength; ++b) {
+            Word72 corrupted = word;
+            corrupted.flip(a);
+            corrupted.flip(b);
+            const auto result = code.decode(corrupted);
+            EXPECT_EQ(result.status, DecodeStatus::DetectedUncorrectable)
+                << a << "," << b;
+        }
+    }
+}
+
+TEST_F(Crc8AtmTest, DetectsAllSolidBurstsUpTo8)
+{
+    // Table II: CRC8-ATM has a 100% detection rate for burst errors --
+    // any error confined to <= 8 consecutive positions leaves a nonzero
+    // remainder because deg g = 8.
+    Rng rng(4);
+    for (int trial = 0; trial < 200; ++trial) {
+        const Word72 word = code.encode(rng.next());
+        for (unsigned len = 1; len <= 8; ++len) {
+            for (unsigned start = 0; start + len <= codeLength; ++start) {
+                Word72 corrupted = word;
+                for (unsigned i = 0; i < len; ++i)
+                    corrupted.flip(start + i);
+                EXPECT_FALSE(code.isValidCodeword(corrupted))
+                    << "len=" << len << " start=" << start;
+            }
+        }
+    }
+}
+
+TEST_F(Crc8AtmTest, DetectsAllPatternsWithinAnyWindowOf8)
+{
+    // Stronger burst property: *any* nonzero pattern within an 8-wide
+    // window is detected, not just solid flips.
+    Rng rng(5);
+    const Word72 word = code.encode(rng.next());
+    for (int trial = 0; trial < 5000; ++trial) {
+        const unsigned start =
+            static_cast<unsigned>(rng.below(codeLength - 8 + 1));
+        const unsigned pattern = 1 + static_cast<unsigned>(rng.below(255));
+        Word72 corrupted = word;
+        for (unsigned i = 0; i < 8; ++i)
+            if ((pattern >> i) & 1)
+                corrupted.flip(start + i);
+        EXPECT_FALSE(code.isValidCodeword(corrupted));
+    }
+}
+
+TEST_F(Crc8AtmTest, DetectsAllOddWeightErrors)
+{
+    // (x+1) divides g(x) = x^8+x^2+x+1, so every odd-weight error is
+    // detected (Table II rows 3, 5, 7 at 100%).
+    Rng rng(6);
+    const Word72 word = code.encode(rng.next());
+    for (int trial = 0; trial < 5000; ++trial) {
+        const unsigned weight = 2 * static_cast<unsigned>(rng.below(4)) + 1;
+        Word72 corrupted = word;
+        unsigned flipped = 0;
+        while (flipped < weight) {
+            const unsigned pos =
+                static_cast<unsigned>(rng.below(codeLength));
+            if (corrupted.bit(pos) == word.bit(pos)) {
+                corrupted.flip(pos);
+                ++flipped;
+            }
+        }
+        EXPECT_FALSE(code.isValidCodeword(corrupted)) << weight;
+    }
+}
+
+TEST_F(Crc8AtmTest, SyndromeMatchesBruteForcePolynomialDivision)
+{
+    Rng rng(7);
+    for (int trial = 0; trial < 200; ++trial) {
+        Word72 w{rng.next(), static_cast<std::uint8_t>(rng.below(256))};
+        // Brute-force remainder of the 72-bit polynomial mod g(x).
+        std::uint8_t rem = 0;
+        for (int pos = static_cast<int>(codeLength) - 1; pos >= 0; --pos) {
+            const int carry = (rem & 0x80) ? 1 : 0;
+            rem = static_cast<std::uint8_t>((rem << 1) |
+                                            (w.bit(pos) ? 1 : 0));
+            if (carry)
+                rem ^= Crc8Atm::poly;
+        }
+        EXPECT_EQ(code.syndrome(w), rem);
+    }
+}
+
+} // namespace
+} // namespace xed::ecc

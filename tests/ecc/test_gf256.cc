@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "ecc/gf256.hh"
+
+namespace xed::ecc
+{
+namespace
+{
+
+class GfTest : public ::testing::Test
+{
+  protected:
+    const GF256 &gf = GF256::instance();
+};
+
+TEST_F(GfTest, AddIsXor)
+{
+    EXPECT_EQ(gf.add(0x53, 0xCA), 0x53 ^ 0xCA);
+    EXPECT_EQ(gf.add(7, 7), 0);
+}
+
+TEST_F(GfTest, MulIdentityAndZero)
+{
+    for (unsigned a = 0; a < 256; ++a) {
+        EXPECT_EQ(gf.mul(static_cast<std::uint8_t>(a), 1), a);
+        EXPECT_EQ(gf.mul(1, static_cast<std::uint8_t>(a)), a);
+        EXPECT_EQ(gf.mul(static_cast<std::uint8_t>(a), 0), 0);
+    }
+}
+
+TEST_F(GfTest, MulMatchesCarrylessReference)
+{
+    // Reference: shift-and-add multiply reduced by 0x11D.
+    auto refMul = [](std::uint8_t a, std::uint8_t b) {
+        unsigned acc = 0;
+        unsigned aa = a;
+        for (int i = 0; i < 8; ++i) {
+            if ((b >> i) & 1)
+                acc ^= aa << i;
+        }
+        for (int bit = 15; bit >= 8; --bit)
+            if ((acc >> bit) & 1)
+                acc ^= GF256::fieldPoly << (bit - 8);
+        return static_cast<std::uint8_t>(acc);
+    };
+    Rng rng(1);
+    for (int i = 0; i < 20000; ++i) {
+        const auto a = static_cast<std::uint8_t>(rng.below(256));
+        const auto b = static_cast<std::uint8_t>(rng.below(256));
+        EXPECT_EQ(gf.mul(a, b), refMul(a, b));
+    }
+}
+
+TEST_F(GfTest, EveryNonzeroElementHasInverse)
+{
+    for (unsigned a = 1; a < 256; ++a) {
+        const auto inv = gf.inv(static_cast<std::uint8_t>(a));
+        EXPECT_EQ(gf.mul(static_cast<std::uint8_t>(a), inv), 1) << a;
+    }
+}
+
+TEST_F(GfTest, DivConsistentWithMul)
+{
+    Rng rng(2);
+    for (int i = 0; i < 5000; ++i) {
+        const auto a = static_cast<std::uint8_t>(rng.below(256));
+        const auto b = static_cast<std::uint8_t>(1 + rng.below(255));
+        EXPECT_EQ(gf.mul(gf.div(a, b), b), a);
+    }
+}
+
+TEST_F(GfTest, AlphaGeneratesWholeGroup)
+{
+    bool seen[256] = {};
+    for (unsigned e = 0; e < GF256::groupOrder; ++e)
+        seen[gf.expAlpha(e)] = true;
+    unsigned count = 0;
+    for (unsigned v = 1; v < 256; ++v)
+        count += seen[v] ? 1 : 0;
+    EXPECT_EQ(count, GF256::groupOrder);
+    EXPECT_EQ(gf.expAlpha(GF256::groupOrder), 1);
+}
+
+TEST_F(GfTest, PowMatchesRepeatedMul)
+{
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const auto a = static_cast<std::uint8_t>(rng.below(256));
+        const auto n = static_cast<unsigned>(rng.below(600));
+        std::uint8_t ref = 1;
+        for (unsigned j = 0; j < n; ++j)
+            ref = gf.mul(ref, a);
+        EXPECT_EQ(gf.pow(a, n), ref);
+    }
+}
+
+} // namespace
+} // namespace xed::ecc

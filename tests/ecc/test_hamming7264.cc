@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "ecc/hamming7264.hh"
+
+namespace xed::ecc
+{
+namespace
+{
+
+class HammingTest : public ::testing::Test
+{
+  protected:
+    Hamming7264 code;
+};
+
+TEST_F(HammingTest, EncodeRoundTrip)
+{
+    Rng rng(1);
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t data = rng.next();
+        const Word72 word = code.encode(data);
+        EXPECT_TRUE(code.isValidCodeword(word));
+        EXPECT_EQ(code.extractData(word), data);
+        const auto result = code.decode(word);
+        EXPECT_EQ(result.status, DecodeStatus::NoError);
+        EXPECT_EQ(result.data, data);
+    }
+}
+
+TEST_F(HammingTest, ZeroAndAllOnesData)
+{
+    for (const std::uint64_t data : {std::uint64_t{0}, ~std::uint64_t{0}}) {
+        const Word72 word = code.encode(data);
+        EXPECT_TRUE(code.isValidCodeword(word));
+        EXPECT_EQ(code.decode(word).data, data);
+    }
+}
+
+TEST_F(HammingTest, CorrectsEverySingleBitError)
+{
+    Rng rng(2);
+    const std::uint64_t data = rng.next();
+    const Word72 word = code.encode(data);
+    for (unsigned pos = 0; pos < codeLength; ++pos) {
+        Word72 corrupted = word;
+        corrupted.flip(pos);
+        const auto result = code.decode(corrupted);
+        EXPECT_EQ(result.status, DecodeStatus::CorrectedSingle) << pos;
+        EXPECT_EQ(result.data, data) << pos;
+        EXPECT_EQ(result.correctedBit, static_cast<int>(pos));
+        EXPECT_TRUE(result.errorObserved());
+    }
+}
+
+TEST_F(HammingTest, DetectsEveryDoubleBitError)
+{
+    Rng rng(3);
+    const std::uint64_t data = rng.next();
+    const Word72 word = code.encode(data);
+    for (unsigned a = 0; a < codeLength; ++a) {
+        for (unsigned b = a + 1; b < codeLength; ++b) {
+            Word72 corrupted = word;
+            corrupted.flip(a);
+            corrupted.flip(b);
+            const auto result = code.decode(corrupted);
+            EXPECT_EQ(result.status, DecodeStatus::DetectedUncorrectable)
+                << a << "," << b;
+        }
+    }
+}
+
+TEST_F(HammingTest, TripleErrorsAlwaysObserved)
+{
+    // SECDED mis-corrects most 3-bit errors, but the word is never seen
+    // as a *valid* codeword, which is all XED needs (Figure 4).
+    Rng rng(4);
+    const std::uint64_t data = rng.next();
+    const Word72 word = code.encode(data);
+    for (int trial = 0; trial < 2000; ++trial) {
+        Word72 corrupted = word;
+        unsigned flipped = 0;
+        while (flipped < 3) {
+            const unsigned pos =
+                static_cast<unsigned>(rng.below(codeLength));
+            if (corrupted.bit(pos) == word.bit(pos)) {
+                corrupted.flip(pos);
+                ++flipped;
+            }
+        }
+        const auto result = code.decode(corrupted);
+        EXPECT_NE(result.status, DecodeStatus::NoError);
+        EXPECT_TRUE(result.errorObserved());
+    }
+}
+
+TEST_F(HammingTest, SomeAlignedSolidBurst4Undetected)
+{
+    // The weakness the paper exploits to argue for CRC8-ATM: with
+    // natural column ordering, bursts of 4 starting at even columns XOR
+    // to a zero syndrome and pass as valid codewords.
+    const Word72 word = code.encode(0xDEADBEEFCAFEF00Dull);
+    int undetected = 0;
+    for (unsigned start = 0; start + 4 <= codeLength; ++start) {
+        Word72 corrupted = word;
+        for (unsigned i = 0; i < 4; ++i)
+            corrupted.flip(start + i);
+        if (code.isValidCodeword(corrupted))
+            ++undetected;
+    }
+    // 34 of 69 start positions alias to codewords (~49%).
+    EXPECT_GT(undetected, 25);
+    EXPECT_LT(undetected, 45);
+}
+
+TEST_F(HammingTest, SyndromeZeroOnlyForCodewords)
+{
+    Rng rng(5);
+    for (int i = 0; i < 500; ++i) {
+        Word72 w{rng.next(), static_cast<std::uint8_t>(rng.below(256))};
+        const bool valid = code.isValidCodeword(w);
+        EXPECT_EQ(valid, code.syndrome(w) == 0);
+        if (valid) {
+            // Validity must be preserved by re-encoding extracted data.
+            EXPECT_EQ(code.encode(code.extractData(w)), w);
+        }
+    }
+}
+
+TEST_F(HammingTest, LinearityOfSyndrome)
+{
+    Rng rng(6);
+    for (int i = 0; i < 200; ++i) {
+        Word72 a{rng.next(), static_cast<std::uint8_t>(rng.below(256))};
+        Word72 b{rng.next(), static_cast<std::uint8_t>(rng.below(256))};
+        EXPECT_EQ(code.syndrome(a ^ b),
+                  code.syndrome(a) ^ code.syndrome(b));
+    }
+}
+
+} // namespace
+} // namespace xed::ecc

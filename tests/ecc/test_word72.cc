@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "ecc/word72.hh"
+
+namespace xed::ecc
+{
+namespace
+{
+
+TEST(Word72, BitAccessAcrossTheLoHiBoundary)
+{
+    Word72 w;
+    for (unsigned pos : {0u, 1u, 31u, 63u, 64u, 65u, 71u}) {
+        EXPECT_EQ(w.bit(pos), 0);
+        w.setBitTo(pos, 1);
+        EXPECT_EQ(w.bit(pos), 1) << pos;
+        w.setBitTo(pos, 0);
+        EXPECT_EQ(w.bit(pos), 0) << pos;
+    }
+}
+
+TEST(Word72, FlipTwiceIsIdentity)
+{
+    Rng rng(1);
+    Word72 w{rng.next(), static_cast<std::uint8_t>(rng.below(256))};
+    const Word72 original = w;
+    for (unsigned pos = 0; pos < codeLength; ++pos) {
+        w.flip(pos);
+        EXPECT_FALSE(w == original);
+        w.flip(pos);
+        EXPECT_TRUE(w == original);
+    }
+}
+
+TEST(Word72, WeightCountsBothHalves)
+{
+    Word72 w;
+    EXPECT_EQ(w.weight(), 0);
+    EXPECT_TRUE(w.isZero());
+    w.setBitTo(3, 1);
+    w.setBitTo(70, 1);
+    EXPECT_EQ(w.weight(), 2);
+    EXPECT_FALSE(w.isZero());
+    w.lo = ~std::uint64_t{0};
+    w.hi = 0xFF;
+    EXPECT_EQ(w.weight(), 72);
+}
+
+TEST(Word72, XorIsBitwiseAndSelfInverse)
+{
+    Rng rng(2);
+    for (int i = 0; i < 200; ++i) {
+        Word72 a{rng.next(), static_cast<std::uint8_t>(rng.below(256))};
+        Word72 b{rng.next(), static_cast<std::uint8_t>(rng.below(256))};
+        const Word72 c = a ^ b;
+        for (unsigned pos = 0; pos < codeLength; ++pos)
+            EXPECT_EQ(c.bit(pos), a.bit(pos) ^ b.bit(pos));
+        Word72 back = c;
+        back ^= b;
+        EXPECT_TRUE(back == a);
+    }
+}
+
+TEST(Word72, Constants)
+{
+    EXPECT_EQ(codeLength, 72u);
+    EXPECT_EQ(dataLength, 64u);
+    EXPECT_EQ(checkLength, 8u);
+}
+
+} // namespace
+} // namespace xed::ecc

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "faultsim/engine.hh"
+
+namespace xed::faultsim
+{
+namespace
+{
+
+McConfig
+quickConfig(std::uint64_t systems = 60000)
+{
+    McConfig cfg;
+    cfg.systems = systems;
+    cfg.seed = 0xE2E;
+    return cfg;
+}
+
+TEST(Engine, FailureProbabilityMonotoneInTime)
+{
+    const auto scheme = makeScheme(SchemeKind::Secded, OnDieOptions{});
+    const auto result = runMonteCarlo(*scheme, quickConfig());
+    for (unsigned y = 2; y <= 7; ++y)
+        EXPECT_GE(result.failByYear[y].value(),
+                  result.failByYear[y - 1].value());
+    EXPECT_EQ(result.failByYear[7].trials(), 60000u);
+}
+
+TEST(Engine, SecdedMatchesLargeFaultExpectation)
+{
+    // With on-die ECC, the SECDED DIMM fails (to first order) whenever
+    // any of the 72 chips takes a multi-bit-per-word fault:
+    // P = 1 - exp(-72 * FIT_large * hours). FIT_large = word + row +
+    // bank + multi-bank + multi-rank = 26.3 FIT.
+    const auto scheme = makeScheme(SchemeKind::Secded, OnDieOptions{});
+    const auto result = runMonteCarlo(*scheme, quickConfig(120000));
+    const double fitLarge = 1.7 + 8.4 + 10.8 + 1.7 + 3.7;
+    const double expected =
+        1.0 - std::exp(-72.0 * fitLarge * 1e-9 * evaluationHours);
+    EXPECT_NEAR(result.probFailure(), expected, expected * 0.05);
+}
+
+TEST(Engine, ReliabilityOrderingMatchesPaper)
+{
+    // Figure 7: P(fail): SECDED >> Chipkill > XED, with the paper's
+    // ratios (43x Chipkill, 172x XED, 4x XED-over-Chipkill) reproduced
+    // within loose bands.
+    const OnDieOptions onDie;
+    const auto cfg = quickConfig(400000);
+    const auto secded =
+        runMonteCarlo(*makeScheme(SchemeKind::Secded, onDie), cfg);
+    const auto chipkill =
+        runMonteCarlo(*makeScheme(SchemeKind::Chipkill, onDie), cfg);
+    const auto xed =
+        runMonteCarlo(*makeScheme(SchemeKind::Xed, onDie), cfg);
+
+    const double ckGain = secded.probFailure() / chipkill.probFailure();
+    const double xedGain = secded.probFailure() / xed.probFailure();
+    const double xedOverCk = chipkill.probFailure() / xed.probFailure();
+    EXPECT_GT(ckGain, 20.0);
+    EXPECT_LT(ckGain, 110.0);
+    EXPECT_GT(xedGain, 90.0);
+    EXPECT_LT(xedGain, 400.0);
+    EXPECT_GT(xedOverCk, 1.5);
+    EXPECT_LT(xedOverCk, 10.0);
+}
+
+TEST(Engine, LockstepX8ChipkillIsWorseThan18ChipGroups)
+{
+    // Ablation: building Chipkill by lockstepping the two x8 ranks
+    // exposes it to multi-rank faults.
+    const OnDieOptions onDie;
+    const auto cfg = quickConfig(150000);
+    const auto x4 =
+        runMonteCarlo(*makeScheme(SchemeKind::Chipkill, onDie), cfg);
+    const auto x8 = runMonteCarlo(
+        *makeScheme(SchemeKind::ChipkillX8Lockstep, onDie), cfg);
+    EXPECT_GT(x8.probFailure(), 3 * x4.probFailure());
+}
+
+TEST(Engine, NonEccAndSecdedEquivalentWithOnDie)
+{
+    // Figure 1: the 9th chip adds (almost) nothing once chips have
+    // on-die ECC.
+    const OnDieOptions onDie;
+    const auto cfg = quickConfig(100000);
+    const auto nonEcc =
+        runMonteCarlo(*makeScheme(SchemeKind::NonEcc, onDie), cfg);
+    const auto secded =
+        runMonteCarlo(*makeScheme(SchemeKind::Secded, onDie), cfg);
+    // Identical failure rule over 64 vs 72 chips: ratio ~ 72/64.
+    EXPECT_NEAR(secded.probFailure() / nonEcc.probFailure(), 72.0 / 64.0,
+                0.15);
+}
+
+TEST(Engine, DoubleChipkillOrderingX4)
+{
+    // Figure 9: Single-Chipkill < Double-Chipkill < XED+Chipkill in
+    // reliability (reverse in P(fail)). The two strong schemes fail at
+    // the 1e-5/1e-6 scale, so this needs millions of samples.
+    const OnDieOptions onDie;
+    const auto cfg = quickConfig(4000000);
+    const auto single =
+        runMonteCarlo(*makeScheme(SchemeKind::Chipkill, onDie), cfg);
+    const auto dbl = runMonteCarlo(
+        *makeScheme(SchemeKind::DoubleChipkill, onDie), cfg);
+    const auto xedCk =
+        runMonteCarlo(*makeScheme(SchemeKind::XedChipkill, onDie), cfg);
+
+    EXPECT_GT(single.probFailure(), 5 * dbl.probFailure());
+    EXPECT_GT(dbl.probFailure(), xedCk.probFailure());
+}
+
+TEST(Engine, FailureTypesAreTracked)
+{
+    const auto scheme = makeScheme(SchemeKind::Secded, OnDieOptions{});
+    const auto result = runMonteCarlo(*scheme, quickConfig());
+    EXPECT_GT(result.failureTypes.get("dimm-uncorrectable"), 0u);
+}
+
+TEST(Engine, ScalingFaultsDoNotHurtXed)
+{
+    OnDieOptions scaling;
+    scaling.scalingRate = 1e-4;
+    const auto cfg = quickConfig(100000);
+    const auto clean =
+        runMonteCarlo(*makeScheme(SchemeKind::Xed, OnDieOptions{}), cfg);
+    const auto scaled =
+        runMonteCarlo(*makeScheme(SchemeKind::Xed, scaling), cfg);
+    // Section VII: XED corrects scaling faults; its failure probability
+    // is unchanged (both estimates share the same seed).
+    EXPECT_NEAR(scaled.probFailure(), clean.probFailure(),
+                0.3 * clean.probFailure() + 1e-5);
+}
+
+} // namespace
+} // namespace xed::faultsim

@@ -1,0 +1,51 @@
+/**
+ * Regression tests for non-default lifetimes: probFailure() must track
+ * the last simulated year, not assume a 7-year run.
+ */
+
+#include <gtest/gtest.h>
+
+#include "faultsim/engine.hh"
+
+namespace xed::faultsim
+{
+namespace
+{
+
+TEST(EngineLifetime, ShortLifetimeReportsLastSimulatedYear)
+{
+    McConfig cfg;
+    cfg.systems = 40000;
+    cfg.years = 3.0;
+    cfg.seed = 0x717;
+    const auto scheme = makeScheme(SchemeKind::Secded, OnDieOptions{});
+    const auto result = runMonteCarlo(*scheme, cfg);
+    EXPECT_EQ(result.failByYear[3].trials(), cfg.systems);
+    EXPECT_EQ(result.failByYear[4].trials(), 0u);
+    EXPECT_GT(result.probFailure(), 0.0);
+    EXPECT_DOUBLE_EQ(result.probFailure(), result.failByYear[3].value());
+}
+
+TEST(EngineLifetime, FailureProbabilityGrowsWithLifetime)
+{
+    McConfig shortRun;
+    shortRun.systems = 60000;
+    shortRun.years = 2.0;
+    shortRun.seed = 0x718;
+    McConfig longRun = shortRun;
+    longRun.years = 7.0;
+
+    const auto scheme = makeScheme(SchemeKind::Secded, OnDieOptions{});
+    const auto a = runMonteCarlo(*scheme, shortRun);
+    const auto b = runMonteCarlo(*scheme, longRun);
+    EXPECT_LT(a.probFailure(), b.probFailure());
+}
+
+TEST(EngineLifetime, EmptyRunHasZeroProbability)
+{
+    McResult empty;
+    EXPECT_DOUBLE_EQ(empty.probFailure(), 0.0);
+}
+
+} // namespace
+} // namespace xed::faultsim

@@ -1,0 +1,121 @@
+/**
+ * Parameterized properties every correction scheme must satisfy:
+ *  - a fault-free world never fails;
+ *  - failure probability is monotone in time and in the FIT rates;
+ *  - reported failure times lie within the simulated lifetime.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+#include "faultsim/engine.hh"
+
+namespace xed::faultsim
+{
+namespace
+{
+
+const SchemeKind allKinds[] = {
+    SchemeKind::NonEcc,
+    SchemeKind::Secded,
+    SchemeKind::Xed,
+    SchemeKind::Chipkill,
+    SchemeKind::ChipkillX8Lockstep,
+    SchemeKind::DoubleChipkill,
+    SchemeKind::DoubleChipkillLockstep,
+    SchemeKind::XedChipkill,
+    SchemeKind::XedChipkillLockstep,
+};
+
+class SchemeProperty : public ::testing::TestWithParam<SchemeKind>
+{
+};
+
+TEST_P(SchemeProperty, NoFaultsNoFailure)
+{
+    const auto scheme = makeScheme(GetParam(), OnDieOptions{});
+    dram::ChipGeometry g;
+    AddressLayout layout(g);
+    Rng rng(1);
+    EXPECT_FALSE(scheme->evaluateDimm({}, layout, rng).has_value());
+}
+
+TEST_P(SchemeProperty, FailureTimesWithinLifetime)
+{
+    const auto scheme = makeScheme(GetParam(), OnDieOptions{});
+    dram::ChipGeometry g;
+    AddressLayout layout(g);
+    const FitTable fit;
+    Rng rng(2);
+    const auto shape = scheme->dimmShape();
+    for (int i = 0; i < 50000; ++i) {
+        const auto events =
+            sampleDimmFaults(rng, fit, layout, shape, evaluationHours);
+        if (const auto f = scheme->evaluateDimm(events, layout, rng)) {
+            EXPECT_GE(f->timeHours, 0.0);
+            EXPECT_LE(f->timeHours, evaluationHours);
+            EXPECT_STRNE(f->type, "");
+        }
+    }
+}
+
+TEST_P(SchemeProperty, FailByYearIsMonotone)
+{
+    McConfig cfg;
+    cfg.systems = 30000;
+    cfg.seed = 0xAB + static_cast<unsigned>(GetParam());
+    const auto scheme = makeScheme(GetParam(), OnDieOptions{});
+    const auto result = runMonteCarlo(*scheme, cfg);
+    for (unsigned y = 2; y <= 7; ++y)
+        EXPECT_GE(result.failByYear[y].value(),
+                  result.failByYear[y - 1].value());
+}
+
+TEST_P(SchemeProperty, MonotoneInFitRates)
+{
+    // Scaling every FIT rate up cannot make the system more reliable.
+    // (Statistical property; checked with a decisive 8x factor.)
+    dram::ChipGeometry g;
+    AddressLayout layout(g);
+    const auto scheme = makeScheme(GetParam(), OnDieOptions{});
+    const auto shape = scheme->dimmShape();
+
+    FitTable low;
+    FitTable high;
+    for (auto &e : high.rates) {
+        e.transient *= 8;
+        e.permanent *= 8;
+    }
+
+    auto failures = [&](const FitTable &fit, std::uint64_t seed) {
+        Rng rng(seed);
+        unsigned failed = 0;
+        for (int i = 0; i < 60000; ++i) {
+            const auto events = sampleDimmFaults(rng, fit, layout,
+                                                 shape,
+                                                 evaluationHours);
+            failed +=
+                scheme->evaluateDimm(events, layout, rng).has_value()
+                    ? 1
+                    : 0;
+        }
+        return failed;
+    };
+    EXPECT_LE(failures(low, 99), failures(high, 99));
+}
+
+std::string
+kindName(const ::testing::TestParamInfo<SchemeKind> &info)
+{
+    std::string name = schemeKindName(info.param);
+    for (auto &c : name)
+        if (c == '-')
+            c = '_';
+    return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, SchemeProperty,
+                         ::testing::ValuesIn(allKinds), kindName);
+
+} // namespace
+} // namespace xed::faultsim

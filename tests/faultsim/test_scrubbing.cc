@@ -1,0 +1,141 @@
+/**
+ * Tests for the patrol-scrubbing (repair) extension: transient faults
+ * heal at scrub boundaries, so only *concurrent* faults can combine
+ * into multi-chip failures.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+#include "faultsim/engine.hh"
+
+namespace xed::faultsim
+{
+namespace
+{
+
+class ScrubbingTest : public ::testing::Test
+{
+  protected:
+    FaultEvent
+    chipFault(unsigned rank, unsigned chip, bool transient, double t,
+              double expires)
+    {
+        FaultEvent e;
+        e.rank = rank;
+        e.chip = chip;
+        e.kind = FaultKind::MultiBank;
+        e.transient = transient;
+        e.timeHours = t;
+        e.expiresHours = expires;
+        e.range = {0, layout.allMask()};
+        return e;
+    }
+
+    dram::ChipGeometry g;
+    AddressLayout layout{g};
+    Rng rng{1};
+};
+
+TEST_F(ScrubbingTest, ConcurrencyPredicate)
+{
+    const auto a = chipFault(0, 1, true, 100, 200);
+    const auto b = chipFault(0, 2, true, 150, 300);
+    const auto c = chipFault(0, 3, true, 250, 400);
+    EXPECT_TRUE(a.concurrentWith(b));
+    EXPECT_TRUE(b.concurrentWith(a));
+    EXPECT_FALSE(a.concurrentWith(c));
+    EXPECT_TRUE(b.concurrentWith(c));
+}
+
+TEST_F(ScrubbingTest, NonConcurrentTransientsDoNotKillXed)
+{
+    const auto scheme = makeScheme(SchemeKind::Xed, OnDieOptions{});
+    // Two whole-chip transients in the same rank but in different
+    // scrub windows: each was healed before the other arrived.
+    const std::vector<FaultEvent> sequential = {
+        chipFault(0, 1, true, 100, 168),
+        chipFault(0, 5, true, 500, 672)};
+    EXPECT_FALSE(
+        scheme->evaluateDimm(sequential, layout, rng).has_value());
+
+    // The same two faults without scrubbing (infinite lifetime) fail.
+    const std::vector<FaultEvent> persistent = {
+        chipFault(0, 1, true, 100, 1e300),
+        chipFault(0, 5, true, 500, 1e300)};
+    EXPECT_TRUE(
+        scheme->evaluateDimm(persistent, layout, rng).has_value());
+}
+
+TEST_F(ScrubbingTest, PermanentFaultsUnaffectedByScrubbing)
+{
+    const auto scheme = makeScheme(SchemeKind::Xed, OnDieOptions{});
+    const std::vector<FaultEvent> events = {
+        chipFault(0, 1, false, 100, 1e300),
+        chipFault(0, 5, false, 50000, 1e300)};
+    EXPECT_TRUE(scheme->evaluateDimm(events, layout, rng).has_value());
+}
+
+TEST_F(ScrubbingTest, SamplerStampsExpiryAtScrubBoundary)
+{
+    const FitTable fit;
+    const DimmShape shape{2, 9};
+    const double scrub = 168.0; // weekly
+    bool sawTransient = false, sawPermanent = false;
+    for (int i = 0; i < 200000 && !(sawTransient && sawPermanent);
+         ++i) {
+        for (const auto &e : sampleDimmFaults(rng, fit, layout, shape,
+                                              evaluationHours, scrub)) {
+            if (e.transient) {
+                sawTransient = true;
+                EXPECT_GT(e.expiresHours, e.timeHours);
+                EXPECT_LE(e.expiresHours - e.timeHours, scrub);
+                // Expiry sits exactly on a scrub boundary.
+                const double boundary = e.expiresHours / scrub;
+                EXPECT_NEAR(boundary, std::round(boundary), 1e-9);
+            } else {
+                sawPermanent = true;
+                EXPECT_GT(e.expiresHours, 1e200);
+            }
+        }
+    }
+    EXPECT_TRUE(sawTransient);
+    EXPECT_TRUE(sawPermanent);
+}
+
+TEST_F(ScrubbingTest, ScrubbingImprovesReliability)
+{
+    McConfig base;
+    base.systems = 150000;
+    base.seed = 0x5C2B;
+    McConfig scrubbed = base;
+    scrubbed.scrubIntervalHours = 24.0; // daily patrol scrub
+
+    for (const auto kind : {SchemeKind::Xed, SchemeKind::Chipkill}) {
+        const auto scheme = makeScheme(kind, OnDieOptions{});
+        const auto without = runMonteCarlo(*scheme, base);
+        const auto with = runMonteCarlo(*scheme, scrubbed);
+        EXPECT_LE(with.probFailure(), without.probFailure())
+            << schemeKindName(kind);
+    }
+}
+
+TEST_F(ScrubbingTest, SecdedSingleFaultFailuresNotMaskedByScrub)
+{
+    // A single large-granularity fault defeats SECDED the moment it
+    // lands; scrubbing cannot help (the error is consumed on access).
+    McConfig base;
+    base.systems = 100000;
+    base.seed = 0x5C2C;
+    McConfig scrubbed = base;
+    scrubbed.scrubIntervalHours = 24.0;
+
+    const auto scheme = makeScheme(SchemeKind::Secded, OnDieOptions{});
+    const auto without = runMonteCarlo(*scheme, base);
+    const auto with = runMonteCarlo(*scheme, scrubbed);
+    EXPECT_NEAR(with.probFailure(), without.probFailure(),
+                0.05 * without.probFailure());
+}
+
+} // namespace
+} // namespace xed::faultsim

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "perfsim/power.hh"
+
+namespace xed::perfsim
+{
+namespace
+{
+
+TEST(Power, ZeroCyclesIsZeroPower)
+{
+    const auto p = computeMemoryPower({}, 0, {});
+    EXPECT_EQ(p.total(), 0.0);
+}
+
+TEST(Power, IdleSystemIsBackgroundPlusRefresh)
+{
+    MemStats stats;
+    PowerConfig cfg;
+    const std::uint64_t cycles = 1000000;
+    const auto p = computeMemoryPower(stats, cycles, cfg);
+    EXPECT_GT(p.background, 0.0);
+    EXPECT_EQ(p.activate, 0.0);
+    EXPECT_EQ(p.readWrite, 0.0);
+    EXPECT_EQ(p.refresh, 0.0);
+    // 72 chips idling at IDD2N x 1.125 (on-die ECC) x VDD.
+    const double expected =
+        1.125 * 0.042 * 1.5 * 8.0 * 9.0;
+    EXPECT_NEAR(p.background, expected, 1e-9);
+}
+
+TEST(Power, ActivityAddsDynamicComponents)
+{
+    MemStats stats;
+    stats.reads = 10000;
+    stats.writes = 4000;
+    stats.readBusCycles = 40000;
+    stats.writeBusCycles = 16000;
+    stats.rankActivates = 8000;
+    stats.refreshes = 160;
+    const std::uint64_t cycles = 1000000;
+    const auto p = computeMemoryPower(stats, cycles, {});
+    EXPECT_GT(p.activate, 0.0);
+    EXPECT_GT(p.readWrite, 0.0);
+    EXPECT_GT(p.refresh, 0.0);
+    EXPECT_GT(p.total(), p.background);
+}
+
+TEST(Power, BusyBackgroundExceedsIdleBackground)
+{
+    MemStats idle;
+    MemStats busy;
+    busy.readBusCycles = 3000000; // high utilization
+    const auto pi = computeMemoryPower(idle, 1000000, {});
+    const auto pb = computeMemoryPower(busy, 1000000, {});
+    EXPECT_GT(pb.background, pi.background);
+}
+
+TEST(Power, IoEnergyScaleAppliesToBurstsOnly)
+{
+    MemStats stats;
+    stats.reads = 10000;
+    stats.rankActivates = 5000;
+    PowerConfig base;
+    PowerConfig scaled;
+    scaled.ioEnergyScale = 1.5;
+    const auto p0 = computeMemoryPower(stats, 1000000, base);
+    const auto p1 = computeMemoryPower(stats, 1000000, scaled);
+    EXPECT_NEAR(p1.readWrite / p0.readWrite, 1.5, 1e-9);
+    EXPECT_DOUBLE_EQ(p1.activate, p0.activate);
+    EXPECT_DOUBLE_EQ(p1.background, p0.background);
+}
+
+TEST(Power, LongerRunLowersAveragePowerForSameWork)
+{
+    // The effect behind Figure 12's Chipkill result: same event counts
+    // over more time -> lower average dynamic power.
+    MemStats stats;
+    stats.reads = 10000;
+    stats.rankActivates = 8000;
+    const auto fast = computeMemoryPower(stats, 1000000, {});
+    const auto slow = computeMemoryPower(stats, 1210000, {});
+    EXPECT_LT(slow.activate, fast.activate);
+    EXPECT_LT(slow.readWrite, fast.readWrite);
+}
+
+} // namespace
+} // namespace xed::perfsim

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "perfsim/system.hh"
+
+namespace xed::perfsim
+{
+namespace
+{
+
+PerfConfig
+quick(std::uint64_t ops = 4000)
+{
+    PerfConfig cfg;
+    cfg.memOpsPerCore = ops;
+    return cfg;
+}
+
+TEST(System, RunCompletesAndCountsWork)
+{
+    const auto r = simulate(workloadByName("gcc"),
+                            ProtectionMode::SecdedBaseline, quick());
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_LT(r.cycles, 100000000u);
+    // 8 cores x ops, split into reads and writes.
+    EXPECT_NEAR(static_cast<double>(r.stats.reads + r.stats.writes),
+                8.0 * 4000.0, 8.0 * 4000.0 * 0.02);
+    EXPECT_GT(r.memoryPowerWatts(), 1.0);
+    EXPECT_LT(r.memoryPowerWatts(), 100.0);
+}
+
+TEST(System, DeterministicForSeed)
+{
+    const auto a = simulate(workloadByName("milc"),
+                            ProtectionMode::Chipkill, quick());
+    const auto b = simulate(workloadByName("milc"),
+                            ProtectionMode::Chipkill, quick());
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.stats.reads, b.stats.reads);
+}
+
+TEST(System, XedMatchesBaselinePerformance)
+{
+    // Section XI-A: XED has < 0.01% overhead vs the SECDED baseline.
+    const auto n = normalizedAgainstBaseline(workloadByName("lbm"),
+                                             ProtectionMode::Xed,
+                                             quick());
+    EXPECT_NEAR(n.execTime, 1.0, 0.005);
+    EXPECT_NEAR(n.memoryPower, 1.0, 0.01);
+}
+
+TEST(System, ChipkillSlowsMemoryIntensiveWorkloads)
+{
+    const auto n = normalizedAgainstBaseline(
+        workloadByName("libquantum"), ProtectionMode::Chipkill,
+        quick(8000));
+    // Paper: libquantum +63.5%; our band: clearly bandwidth-bound.
+    EXPECT_GT(n.execTime, 1.25);
+    EXPECT_LT(n.execTime, 1.8);
+    // Figure 12: Chipkill power *drops* for memory-bound workloads.
+    EXPECT_LT(n.memoryPower, 1.0);
+}
+
+TEST(System, ChipkillBarelyAffectsComputeBoundWorkloads)
+{
+    const auto n = normalizedAgainstBaseline(workloadByName("black"),
+                                             ProtectionMode::Chipkill,
+                                             quick());
+    EXPECT_LT(n.execTime, 1.1);
+}
+
+TEST(System, DoubleChipkillWorseThanChipkill)
+{
+    const auto &w = workloadByName("milc");
+    const auto ck = normalizedAgainstBaseline(
+        w, ProtectionMode::Chipkill, quick(8000));
+    const auto dck = normalizedAgainstBaseline(
+        w, ProtectionMode::DoubleChipkill, quick(8000));
+    EXPECT_GT(dck.execTime, ck.execTime * 1.2);
+}
+
+TEST(System, XedChipkillCostsSameAsChipkill)
+{
+    const auto &w = workloadByName("soplex");
+    const auto ck = normalizedAgainstBaseline(
+        w, ProtectionMode::Chipkill, quick(8000));
+    const auto xck = normalizedAgainstBaseline(
+        w, ProtectionMode::XedChipkill, quick(8000));
+    EXPECT_NEAR(xck.execTime, ck.execTime, 0.02);
+}
+
+TEST(System, AlternativesCostMoreThanXedChipkill)
+{
+    // Figure 13: extra burst / extra transaction are strictly worse
+    // than the catch-word approach, and the transaction is worse than
+    // the burst.
+    const auto &w = workloadByName("bwaves");
+    const auto xck =
+        simulate(w, ProtectionMode::XedChipkill, quick(8000));
+    const auto burst =
+        simulate(w, ProtectionMode::ChipkillExtraBurst, quick(8000));
+    const auto txn = simulate(
+        w, ProtectionMode::ChipkillExtraTransaction, quick(8000));
+    EXPECT_GT(burst.cycles, xck.cycles);
+    EXPECT_GT(txn.cycles, burst.cycles);
+    EXPECT_GT(burst.memoryPowerWatts(), xck.memoryPowerWatts() * 0.99);
+}
+
+TEST(System, LotEccSlowerThanXed)
+{
+    // Figure 14: LOT-ECC trails XED by ~6.6% due to extra writes.
+    const auto &w = workloadByName("comm1");
+    const auto xed = simulate(w, ProtectionMode::Xed, quick(8000));
+    const auto lot = simulate(w, ProtectionMode::LotEcc, quick(8000));
+    EXPECT_GT(lot.cycles, xed.cycles);
+    EXPECT_LT(static_cast<double>(lot.cycles) / xed.cycles, 1.35);
+    EXPECT_GT(lot.stats.extraWrites, 0u);
+}
+
+TEST(System, MlpDrivesLatencySensitivity)
+{
+    // mcf (MLP 2) suffers under Chipkill despite moderate bandwidth:
+    // its stalls scale with loaded latency.
+    const auto n = normalizedAgainstBaseline(workloadByName("mcf"),
+                                             ProtectionMode::Chipkill,
+                                             quick(8000));
+    EXPECT_GT(n.execTime, 1.15);
+}
+
+} // namespace
+} // namespace xed::perfsim

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "perfsim/tracegen.hh"
+
+namespace xed::perfsim
+{
+namespace
+{
+
+class TraceGenTest : public ::testing::Test
+{
+  protected:
+    TraceGen::AddressSpace space;
+};
+
+TEST_F(TraceGenTest, StatisticsMatchWorkloadDescriptor)
+{
+    const auto &w = workloadByName("libquantum");
+    TraceGen gen(w, space, 42);
+    const int n = 200000;
+    double gapSum = 0;
+    int writes = 0, rowHits = 0;
+    Address prev{};
+    bool first = true;
+    for (int i = 0; i < n; ++i) {
+        const auto op = gen.next();
+        gapSum += op.gapInstrs;
+        writes += op.isWrite ? 1 : 0;
+        if (!first && op.addr.channel == prev.channel &&
+            op.addr.rank == prev.rank && op.addr.bank == prev.bank &&
+            op.addr.row == prev.row)
+            ++rowHits;
+        prev = op.addr;
+        first = false;
+    }
+    const double expectedGap =
+        1000.0 * (1.0 - w.writeFraction) / w.mpki;
+    EXPECT_NEAR(gapSum / n, expectedGap, expectedGap * 0.05);
+    EXPECT_NEAR(static_cast<double>(writes) / n, w.writeFraction, 0.01);
+    EXPECT_NEAR(static_cast<double>(rowHits) / n, w.rowHitRate, 0.02);
+}
+
+TEST_F(TraceGenTest, AddressesWithinSpace)
+{
+    TraceGen::AddressSpace tight;
+    tight.channels = 2;
+    tight.ranks = 1;
+    TraceGen gen(workloadByName("mcf"), tight, 7);
+    for (int i = 0; i < 50000; ++i) {
+        const auto op = gen.next();
+        EXPECT_LT(op.addr.channel, tight.channels);
+        EXPECT_LT(op.addr.rank, tight.ranks);
+        EXPECT_LT(op.addr.bank, tight.banks);
+        EXPECT_LT(op.addr.row, tight.rows);
+        EXPECT_LT(op.addr.col, tight.cols);
+    }
+}
+
+TEST_F(TraceGenTest, DeterministicForSeed)
+{
+    TraceGen a(workloadByName("gcc"), space, 11);
+    TraceGen b(workloadByName("gcc"), space, 11);
+    for (int i = 0; i < 1000; ++i) {
+        const auto x = a.next();
+        const auto y = b.next();
+        EXPECT_EQ(x.gapInstrs, y.gapInstrs);
+        EXPECT_EQ(x.isWrite, y.isWrite);
+        EXPECT_EQ(x.addr.row, y.addr.row);
+        EXPECT_EQ(x.addr.col, y.addr.col);
+    }
+}
+
+TEST_F(TraceGenTest, SeedsProduceDistinctStreams)
+{
+    TraceGen a(workloadByName("gcc"), space, 1);
+    TraceGen b(workloadByName("gcc"), space, 2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next().addr.row == b.next().addr.row) ? 1 : 0;
+    EXPECT_LT(same, 20);
+}
+
+TEST_F(TraceGenTest, RowHitsAdvanceColumn)
+{
+    // A row hit must be a *different* line of the same row.
+    const Workload streaming{"s", Suite::Parsec, 10.0, 1.0, 0.0, 4};
+    TraceGen gen(streaming, space, 3);
+    auto prev = gen.next().addr;
+    for (int i = 0; i < 1000; ++i) {
+        const auto cur = gen.next().addr;
+        EXPECT_EQ(cur.row, prev.row);
+        EXPECT_EQ((prev.col + 1) % space.cols, cur.col);
+        prev = cur;
+    }
+}
+
+} // namespace
+} // namespace xed::perfsim

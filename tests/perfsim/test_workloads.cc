@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "perfsim/workloads.hh"
+
+namespace xed::perfsim
+{
+namespace
+{
+
+TEST(Workloads, TableCoversThePaperSuites)
+{
+    const auto &all = paperWorkloads();
+    EXPECT_GE(all.size(), 28u); // Figure 11 x-axis
+    unsigned spec = 0, parsec = 0, bio = 0, comm = 0;
+    for (const auto &w : all) {
+        switch (w.suite) {
+          case Suite::Spec2006: ++spec; break;
+          case Suite::Parsec: ++parsec; break;
+          case Suite::BioBench: ++bio; break;
+          case Suite::Commercial: ++comm; break;
+        }
+    }
+    EXPECT_GE(spec, 15u);
+    EXPECT_GE(parsec, 6u);
+    EXPECT_EQ(bio, 2u);  // tigr, mummer
+    EXPECT_EQ(comm, 5u); // comm1..comm5
+}
+
+TEST(Workloads, SelectionCriterionHolds)
+{
+    // Section X: only benchmarks with > 1 LLC miss per 1000 instrs.
+    for (const auto &w : paperWorkloads()) {
+        EXPECT_GT(w.mpki, 1.0) << w.name;
+        EXPECT_GT(w.rowHitRate, 0.0) << w.name;
+        EXPECT_LT(w.rowHitRate, 1.0) << w.name;
+        EXPECT_GT(w.writeFraction, 0.0) << w.name;
+        EXPECT_LT(w.writeFraction, 0.6) << w.name;
+        EXPECT_GE(w.mlp, 1u) << w.name;
+    }
+}
+
+TEST(Workloads, StreamingVsPointerChasing)
+{
+    // The workloads the paper calls out must have the right character:
+    // libquantum bandwidth-bound (high MPKI, high locality, high MLP),
+    // mcf latency-bound (high MPKI, low locality, low MLP).
+    const auto &libq = workloadByName("libquantum");
+    const auto &mcf = workloadByName("mcf");
+    EXPECT_GT(libq.rowHitRate, 0.9);
+    EXPECT_GE(libq.mlp, 8u);
+    EXPECT_LT(mcf.rowHitRate, 0.3);
+    EXPECT_LE(mcf.mlp, 3u);
+    EXPECT_GT(mcf.mpki, 15.0);
+}
+
+TEST(Workloads, LookupByName)
+{
+    EXPECT_EQ(workloadByName("lbm").suite, Suite::Spec2006);
+    EXPECT_EQ(workloadByName("mummer").suite, Suite::BioBench);
+    EXPECT_THROW(workloadByName("quake3"), std::out_of_range);
+}
+
+TEST(Workloads, NamesAreUnique)
+{
+    const auto &all = paperWorkloads();
+    for (std::size_t i = 0; i < all.size(); ++i)
+        for (std::size_t j = i + 1; j < all.size(); ++j)
+            EXPECT_NE(all[i].name, all[j].name);
+}
+
+TEST(Workloads, SuiteNames)
+{
+    EXPECT_STREQ(suiteName(Suite::Spec2006), "SPEC 2006");
+    EXPECT_STREQ(suiteName(Suite::Commercial), "COMMERCIAL");
+}
+
+} // namespace
+} // namespace xed::perfsim

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "xed/chipkill_controller.hh"
+
+namespace xed
+{
+namespace
+{
+
+using dram::Fault;
+using dram::FaultGranularity;
+using dram::WordAddr;
+
+std::vector<std::uint64_t>
+randomLine(Rng &rng, unsigned chips)
+{
+    std::vector<std::uint64_t> line(chips);
+    for (auto &w : line)
+        w = rng.next();
+    return line;
+}
+
+ChipkillConfig
+chipkillCfg()
+{
+    return {};
+}
+
+ChipkillConfig
+xedChipkillCfg()
+{
+    ChipkillConfig cfg;
+    cfg.useCatchWordErasures = true;
+    return cfg;
+}
+
+ChipkillConfig
+doubleChipkillCfg()
+{
+    ChipkillConfig cfg;
+    cfg.dataChips = 32;
+    cfg.checkChips = 4;
+    return cfg;
+}
+
+TEST(ChipkillController, CleanRoundTrip)
+{
+    Rng rng(1);
+    ChipkillController ctrl(chipkillCfg());
+    const WordAddr addr{0, 1, 2};
+    const auto line = randomLine(rng, 16);
+    ctrl.writeLine(addr, line);
+    const auto r = ctrl.readLine(addr);
+    EXPECT_EQ(r.outcome, ChipkillOutcome::Clean);
+    EXPECT_EQ(r.data, line);
+}
+
+TEST(ChipkillController, SingleChipFailureCorrected)
+{
+    Rng rng(2);
+    ChipkillController ctrl(chipkillCfg());
+    const WordAddr addr{1, 2, 3};
+    const auto line = randomLine(rng, 16);
+    ctrl.writeLine(addr, line);
+
+    Fault f;
+    f.granularity = FaultGranularity::SingleWord;
+    f.permanent = true;
+    f.addr = addr;
+    f.seed = 9;
+    ctrl.chip(5).faults().add(f);
+
+    const auto r = ctrl.readLine(addr);
+    EXPECT_EQ(r.outcome, ChipkillOutcome::Corrected);
+    EXPECT_EQ(r.data, line);
+}
+
+TEST(ChipkillController, CheckChipFailureCorrected)
+{
+    Rng rng(3);
+    ChipkillController ctrl(chipkillCfg());
+    const WordAddr addr{1, 2, 4};
+    const auto line = randomLine(rng, 16);
+    ctrl.writeLine(addr, line);
+
+    Fault f;
+    f.granularity = FaultGranularity::SingleWord;
+    f.permanent = true;
+    f.addr = addr;
+    f.seed = 10;
+    ctrl.chip(17).faults().add(f); // one of the two check chips
+
+    const auto r = ctrl.readLine(addr);
+    EXPECT_NE(r.outcome, ChipkillOutcome::Uncorrectable);
+    EXPECT_EQ(r.data, line);
+}
+
+TEST(ChipkillController, TwoChipFailuresUncorrectableWithoutXed)
+{
+    Rng rng(4);
+    ChipkillController ctrl(chipkillCfg());
+    const WordAddr addr{2, 3, 4};
+    const auto line = randomLine(rng, 16);
+    ctrl.writeLine(addr, line);
+
+    for (const unsigned c : {3u, 11u}) {
+        Fault f;
+        f.granularity = FaultGranularity::SingleWord;
+        f.permanent = true;
+        f.addr = addr;
+        f.seed = 20 + c;
+        ctrl.chip(c).faults().add(f);
+    }
+    const auto r = ctrl.readLine(addr);
+    EXPECT_EQ(r.outcome, ChipkillOutcome::Uncorrectable);
+}
+
+TEST(ChipkillController, XedErasuresCorrectTwoChipFailures)
+{
+    // Section IX: same 18-chip hardware, but catch-words locate the two
+    // faulty chips so the two check symbols can rebuild both.
+    Rng rng(5);
+    ChipkillController ctrl(xedChipkillCfg());
+    const WordAddr addr{2, 3, 5};
+    const auto line = randomLine(rng, 16);
+    ctrl.writeLine(addr, line);
+
+    for (const unsigned c : {3u, 11u}) {
+        Fault f;
+        f.granularity = FaultGranularity::SingleWord;
+        f.permanent = true;
+        f.addr = addr;
+        f.seed = 30 + c;
+        ctrl.chip(c).faults().add(f);
+    }
+    const auto r = ctrl.readLine(addr);
+    EXPECT_EQ(r.outcome, ChipkillOutcome::Corrected);
+    EXPECT_EQ(r.data, line);
+    EXPECT_EQ(r.catchWordChips.size(), 2u);
+}
+
+TEST(ChipkillController, XedErasuresThreeChipFailuresUncorrectable)
+{
+    Rng rng(6);
+    ChipkillController ctrl(xedChipkillCfg());
+    const WordAddr addr{2, 3, 6};
+    ctrl.writeLine(addr, randomLine(rng, 16));
+
+    for (const unsigned c : {1u, 8u, 15u}) {
+        Fault f;
+        f.granularity = FaultGranularity::SingleWord;
+        f.permanent = true;
+        f.addr = addr;
+        f.seed = 40 + c;
+        ctrl.chip(c).faults().add(f);
+    }
+    const auto r = ctrl.readLine(addr);
+    EXPECT_EQ(r.outcome, ChipkillOutcome::Uncorrectable);
+}
+
+TEST(ChipkillController, DoubleChipkillCorrectsTwoUnlocatedFailures)
+{
+    Rng rng(7);
+    ChipkillController ctrl(doubleChipkillCfg());
+    const WordAddr addr{3, 4, 5};
+    const auto line = randomLine(rng, 32);
+    ctrl.writeLine(addr, line);
+
+    for (const unsigned c : {7u, 21u}) {
+        Fault f;
+        f.granularity = FaultGranularity::SingleWord;
+        f.permanent = true;
+        f.addr = addr;
+        f.seed = 50 + c;
+        ctrl.chip(c).faults().add(f);
+    }
+    const auto r = ctrl.readLine(addr);
+    EXPECT_EQ(r.outcome, ChipkillOutcome::Corrected);
+    EXPECT_EQ(r.data, line);
+}
+
+TEST(ChipkillController, RowFailureCorrectedAcrossRow)
+{
+    Rng rng(8);
+    ChipkillController ctrl(chipkillCfg());
+    const unsigned bank = 1, row = 9;
+    std::vector<std::vector<std::uint64_t>> lines;
+    for (unsigned col = 0; col < 16; ++col) {
+        lines.push_back(randomLine(rng, 16));
+        ctrl.writeLine({bank, row, col}, lines.back());
+    }
+    Fault f;
+    f.granularity = FaultGranularity::SingleRow;
+    f.permanent = true;
+    f.addr = {bank, row, 0};
+    f.seed = 60;
+    ctrl.chip(4).faults().add(f);
+
+    for (unsigned col = 0; col < 16; ++col) {
+        const auto r = ctrl.readLine({bank, row, col});
+        EXPECT_EQ(r.outcome, ChipkillOutcome::Corrected) << col;
+        EXPECT_EQ(r.data, lines[col]) << col;
+    }
+}
+
+} // namespace
+} // namespace xed

@@ -1,0 +1,294 @@
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "common/rng.hh"
+#include "xed/controller.hh"
+
+namespace xed
+{
+namespace
+{
+
+using dram::Fault;
+using dram::FaultGranularity;
+using dram::WordAddr;
+
+class XedControllerTest : public ::testing::Test
+{
+  protected:
+    std::array<std::uint64_t, 8>
+    randomLine(Rng &rng)
+    {
+        std::array<std::uint64_t, 8> line{};
+        for (auto &w : line)
+            w = rng.next();
+        return line;
+    }
+
+    XedController ctrl;
+    Rng rng{0x7357};
+};
+
+TEST_F(XedControllerTest, CleanWriteReadRoundTrip)
+{
+    const WordAddr addr{0, 100, 5};
+    const auto line = randomLine(rng);
+    ctrl.writeLine(addr, line);
+    const auto r = ctrl.readLine(addr);
+    EXPECT_EQ(r.outcome, ReadOutcome::Clean);
+    EXPECT_EQ(r.data, line);
+    EXPECT_TRUE(r.catchWordChips.empty());
+}
+
+TEST_F(XedControllerTest, UnwrittenLinesReadCleanBackground)
+{
+    const auto r = ctrl.readLine({3, 3, 3});
+    EXPECT_EQ(r.outcome, ReadOutcome::Clean);
+}
+
+TEST_F(XedControllerTest, SingleChipScalingFaultCorrectedByErasure)
+{
+    // A single-bit (scaling-class) fault in one chip: the chip sends
+    // its catch-word and the controller rebuilds via parity.
+    const WordAddr addr{1, 50, 10};
+    const auto line = randomLine(rng);
+    ctrl.writeLine(addr, line);
+
+    Fault f;
+    f.granularity = FaultGranularity::SingleBit;
+    f.permanent = true;
+    f.addr = addr;
+    f.bitPos = 12;
+    ctrl.chip(4).faults().add(f);
+
+    const auto r = ctrl.readLine(addr);
+    EXPECT_EQ(r.outcome, ReadOutcome::CorrectedErasure);
+    EXPECT_EQ(r.data, line);
+    ASSERT_EQ(r.catchWordChips.size(), 1u);
+    EXPECT_EQ(r.catchWordChips[0], 4u);
+    ASSERT_TRUE(r.rebuiltChip.has_value());
+    EXPECT_EQ(*r.rebuiltChip, 4u);
+}
+
+TEST_F(XedControllerTest, EveryDataChipPositionRecoverable)
+{
+    for (unsigned victim = 0; victim < 8; ++victim) {
+        const WordAddr addr{0, 200, victim};
+        const auto line = randomLine(rng);
+        ctrl.writeLine(addr, line);
+        Fault f;
+        f.granularity = FaultGranularity::SingleWord;
+        f.permanent = true;
+        f.addr = addr;
+        f.seed = 1000 + victim;
+        ctrl.chip(victim).faults().add(f);
+
+        const auto r = ctrl.readLine(addr);
+        EXPECT_EQ(r.data, line) << victim;
+        EXPECT_NE(r.outcome, ReadOutcome::DetectedUncorrectable)
+            << victim;
+    }
+}
+
+TEST_F(XedControllerTest, ParityChipFaultDoesNotDisturbData)
+{
+    const WordAddr addr{2, 60, 11};
+    const auto line = randomLine(rng);
+    ctrl.writeLine(addr, line);
+
+    Fault f;
+    f.granularity = FaultGranularity::SingleWord;
+    f.permanent = true;
+    f.addr = addr;
+    f.seed = 17;
+    ctrl.chip(XedController::parityChipIndex).faults().add(f);
+
+    const auto r = ctrl.readLine(addr);
+    EXPECT_EQ(r.outcome, ReadOutcome::CorrectedParityChip);
+    EXPECT_EQ(r.data, line);
+}
+
+TEST_F(XedControllerTest, RowFailureCorrectedForWholeRow)
+{
+    // A row failure in one chip corrupts 128 lines; every one of them
+    // must be reconstructed (the chip catch-words on ~99.2% of lines
+    // and the rest go through inter-line diagnosis).
+    const unsigned bank = 1, row = 300;
+    std::array<std::array<std::uint64_t, 8>, 128> lines{};
+    for (unsigned col = 0; col < 128; ++col) {
+        lines[col] = randomLine(rng);
+        ctrl.writeLine({bank, row, col}, lines[col]);
+    }
+    Fault f;
+    f.granularity = FaultGranularity::SingleRow;
+    f.permanent = true;
+    f.addr = {bank, row, 0};
+    f.seed = 42;
+    ctrl.chip(2).faults().add(f);
+
+    for (unsigned col = 0; col < 128; ++col) {
+        const auto r = ctrl.readLine({bank, row, col});
+        EXPECT_EQ(r.data, lines[col]) << col;
+        EXPECT_NE(r.outcome, ReadOutcome::DetectedUncorrectable) << col;
+    }
+}
+
+TEST_F(XedControllerTest, MultipleScalingFaultsSerialModeOnDie)
+{
+    // Two chips with single-bit scaling faults in the same line: two
+    // catch-words; serial-mode re-read lets the on-die ECC correct
+    // both (Section VII-B).
+    const WordAddr addr{5, 70, 3};
+    const auto line = randomLine(rng);
+    ctrl.writeLine(addr, line);
+
+    for (const unsigned chipIdx : {1u, 6u}) {
+        Fault f;
+        f.granularity = FaultGranularity::SingleBit;
+        f.permanent = true;
+        f.addr = addr;
+        f.bitPos = 5 + chipIdx;
+        ctrl.chip(chipIdx).faults().add(f);
+    }
+
+    const auto r = ctrl.readLine(addr);
+    EXPECT_EQ(r.outcome, ReadOutcome::MultiCatchWordOnDie);
+    EXPECT_EQ(r.data, line);
+    EXPECT_EQ(r.catchWordChips.size(), 2u);
+    EXPECT_GE(ctrl.counters().get("serial_mode"), 1u);
+}
+
+TEST_F(XedControllerTest, ChipFailurePlusScalingFaultCorrected)
+{
+    // Section VII-C: a runtime multi-bit chip failure in one chip with
+    // a concurrent scaling fault in another chip. Serial-mode re-read
+    // fixes the scaling fault on-die; diagnosis locates the failed
+    // chip; parity rebuilds it.
+    const unsigned bank = 4, row = 40;
+    std::array<std::array<std::uint64_t, 8>, 128> lines{};
+    for (unsigned col = 0; col < 128; ++col) {
+        lines[col] = randomLine(rng);
+        ctrl.writeLine({bank, row, col}, lines[col]);
+    }
+    const WordAddr addr{bank, row, 9};
+
+    Fault scaling;
+    scaling.granularity = FaultGranularity::SingleBit;
+    scaling.permanent = true;
+    scaling.addr = addr;
+    scaling.bitPos = 2;
+    ctrl.chip(0).faults().add(scaling);
+
+    Fault rowFail;
+    rowFail.granularity = FaultGranularity::SingleRow;
+    rowFail.permanent = true;
+    rowFail.addr = {bank, row, 0};
+    rowFail.seed = 55;
+    ctrl.chip(7).faults().add(rowFail);
+
+    const auto r = ctrl.readLine(addr);
+    EXPECT_EQ(r.data, lines[9]);
+    EXPECT_NE(r.outcome, ReadOutcome::DetectedUncorrectable);
+}
+
+TEST_F(XedControllerTest, CollisionDetectedAndCatchWordsRegenerated)
+{
+    // Store the catch-word itself as data in chip 3: the controller
+    // must return the correct value AND re-randomize the catch-words
+    // (Section V-D).
+    const WordAddr addr{6, 80, 2};
+    auto line = randomLine(rng);
+    line[3] = ctrl.catchWordOf(3);
+    ctrl.writeLine(addr, line);
+
+    const auto before = ctrl.catchWordOf(3);
+    const auto r = ctrl.readLine(addr);
+    EXPECT_EQ(r.outcome, ReadOutcome::CollisionCorrected);
+    EXPECT_EQ(r.data, line);
+    EXPECT_NE(ctrl.catchWordOf(3), before);
+    EXPECT_GE(ctrl.counters().get("collisions"), 1u);
+    // After regeneration the same line reads clean.
+    const auto r2 = ctrl.readLine(addr);
+    EXPECT_EQ(r2.outcome, ReadOutcome::Clean);
+    EXPECT_EQ(r2.data, line);
+}
+
+TEST_F(XedControllerTest, TransientWordFaultEscapingOnDieIsDue)
+{
+    // Force the worst case of Section VIII: corrupt a word with a
+    // pattern the on-die code cannot see (we emulate the 0.8% escape by
+    // crafting a codeword-aliasing pattern), transient so the
+    // intra-line probe cannot find it either. Expect a DUE, not SDC.
+    const WordAddr addr{7, 90, 1};
+    const auto line = randomLine(rng);
+    ctrl.writeLine(addr, line);
+
+    // Find an error pattern that is a nonzero CRC8-ATM *codeword* (so
+    // the on-die syndrome stays zero): any codeword of the on-die code
+    // works since the code is linear. Use encode(1) (nonzero data).
+    const auto alias = ctrl.onDieCode().encode(1);
+    ASSERT_FALSE(alias.isZero());
+
+    // Inject it as a one-shot transient via a custom fault: we emulate
+    // by directly rewriting the stored word through the chip interface
+    // with the aliased data, leaving check bits consistent.
+    // encode(data ^ 1) differs from encode(data) by exactly `alias`.
+    ctrl.chip(5).write(addr, line[5] ^ 1);
+
+    const auto r = ctrl.readLine(addr);
+    EXPECT_EQ(r.outcome, ReadOutcome::DetectedUncorrectable);
+    EXPECT_TRUE(r.uncorrectable());
+    EXPECT_GE(ctrl.counters().get("due"), 1u);
+}
+
+TEST_F(XedControllerTest, BankFailureEventuallyMarksChip)
+{
+    // A bank failure produces faulty lines in thousands of rows; after
+    // enough diagnoses the FCT fills unanimously and the chip is
+    // permanently marked (Section VI-A).
+    const unsigned bank = 2;
+    Fault f;
+    f.granularity = FaultGranularity::SingleBank;
+    f.permanent = true;
+    f.addr = {bank, 0, 0};
+    f.seed = 31337;
+    ctrl.chip(3).faults().add(f);
+
+    // Touch many distinct rows. Most reads see a catch-word from chip 3
+    // (single catch-word, erasure-corrected); to exercise the FCT we
+    // need detection *escapes*, which are rare -- so instead drive the
+    // FCT through repeated inter-line diagnoses by reading rows where
+    // the corruption aliases the on-die code. Simpler and deterministic:
+    // record via the public read path using rows with crafted escapes.
+    unsigned diagnoses = 0;
+    for (unsigned row = 0; row < 4000 && !ctrl.markedFaultyChip(); ++row) {
+        const WordAddr addr{bank, row, row % 128};
+        const auto r = ctrl.readLine(addr);
+        ASSERT_NE(r.outcome, ReadOutcome::DetectedUncorrectable);
+        if (r.outcome == ReadOutcome::InterLineCorrected)
+            ++diagnoses;
+    }
+    // The 0.8% escape rate over 4000 rows gives ~32 diagnoses; the FCT
+    // (8 entries, all chip 3) marks the chip well before that.
+    EXPECT_TRUE(ctrl.markedFaultyChip().has_value());
+    EXPECT_EQ(*ctrl.markedFaultyChip(), 3u);
+    EXPECT_GE(diagnoses, 8u);
+
+    // Once marked, reads are rebuilt directly.
+    const auto r = ctrl.readLine({bank, 4001 % 32768, 0});
+    EXPECT_EQ(r.outcome, ReadOutcome::MarkedChipCorrected);
+}
+
+TEST_F(XedControllerTest, CountersTrackActivity)
+{
+    const WordAddr addr{0, 0, 0};
+    const auto line = randomLine(rng);
+    ctrl.writeLine(addr, line);
+    ctrl.readLine(addr);
+    EXPECT_EQ(ctrl.counters().get("writes"), 1u);
+    EXPECT_EQ(ctrl.counters().get("reads"), 1u);
+}
+
+} // namespace
+} // namespace xed

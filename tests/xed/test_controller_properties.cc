@@ -1,0 +1,144 @@
+/**
+ * Randomized property tests for the XED controller, checked against
+ * the chips' expectedData() oracle:
+ *
+ *  P1. Any *permanent* fault confined to one chip is always corrected:
+ *      the returned line equals the written line, whatever the
+ *      granularity, address or victim chip.
+ *  P2. With any *single-chip* fault (transient or permanent), the
+ *      controller never silently returns wrong data: every read either
+ *      matches the oracle or is flagged DetectedUncorrectable.
+ *  P3. Reads are idempotent: re-reading after a corrected read returns
+ *      the same (correct) data.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "common/rng.hh"
+#include "xed/controller.hh"
+
+namespace xed
+{
+namespace
+{
+
+using dram::Fault;
+using dram::FaultGranularity;
+using dram::WordAddr;
+
+class ControllerProperty : public ::testing::TestWithParam<unsigned>
+{
+  protected:
+    WordAddr
+    randomAddr(Rng &rng, const dram::ChipGeometry &g)
+    {
+        return {static_cast<unsigned>(rng.below(g.banks())),
+                static_cast<unsigned>(rng.below(g.rowsPerBank())),
+                static_cast<unsigned>(rng.below(g.colsPerRow()))};
+    }
+
+    Fault
+    randomFault(Rng &rng, const WordAddr &anchor, bool permanent)
+    {
+        Fault f;
+        f.granularity = static_cast<FaultGranularity>(rng.below(6));
+        f.permanent = permanent;
+        f.addr = anchor;
+        f.bitPos = static_cast<unsigned>(rng.below(72));
+        f.seed = rng.next();
+        return f;
+    }
+};
+
+TEST_P(ControllerProperty, SingleChipPermanentFaultAlwaysCorrected)
+{
+    Rng rng(0x1000 + GetParam());
+    XedController ctrl({dram::ChipGeometry{}, 8, 0.10,
+                        0xC0DE + GetParam()});
+    const auto g = ctrl.chip(0).geometry();
+
+    for (int trial = 0; trial < 30; ++trial) {
+        const auto addr = randomAddr(rng, g);
+        std::array<std::uint64_t, 8> line{};
+        for (auto &w : line)
+            w = rng.next();
+        ctrl.writeLine(addr, line);
+
+        const unsigned victim = static_cast<unsigned>(rng.below(9));
+        ctrl.chip(victim).faults().add(
+            randomFault(rng, addr, /*permanent=*/true));
+
+        const auto r = ctrl.readLine(addr);
+        EXPECT_NE(r.outcome, ReadOutcome::DetectedUncorrectable)
+            << "victim=" << victim << " trial=" << trial;
+        EXPECT_EQ(r.data, line)
+            << "victim=" << victim << " trial=" << trial;
+
+        ctrl.chip(victim).faults().clear();
+    }
+}
+
+TEST_P(ControllerProperty, NeverSilentlyWrongUnderSingleChipFault)
+{
+    Rng rng(0x2000 + GetParam());
+    XedController ctrl({dram::ChipGeometry{}, 8, 0.10,
+                        0xFACE + GetParam()});
+    const auto g = ctrl.chip(0).geometry();
+
+    int dues = 0;
+    for (int trial = 0; trial < 30; ++trial) {
+        const auto addr = randomAddr(rng, g);
+        std::array<std::uint64_t, 8> line{};
+        for (auto &w : line)
+            w = rng.next();
+        ctrl.writeLine(addr, line);
+
+        const unsigned victim = static_cast<unsigned>(rng.below(9));
+        auto fault = randomFault(rng, addr, rng.bernoulli(0.5));
+        fault.epoch = ctrl.chip(victim).nextFaultEpoch();
+        ctrl.chip(victim).faults().add(fault);
+
+        const auto r = ctrl.readLine(addr);
+        if (r.outcome == ReadOutcome::DetectedUncorrectable) {
+            ++dues; // acceptable: flagged, not silent
+        } else {
+            EXPECT_EQ(r.data, line)
+                << "victim=" << victim << " trial=" << trial;
+        }
+        ctrl.chip(victim).faults().clear();
+    }
+    // Transient word-level escapes are rare; DUEs must not dominate.
+    EXPECT_LT(dues, 10);
+}
+
+TEST_P(ControllerProperty, CorrectedReadsAreIdempotent)
+{
+    Rng rng(0x3000 + GetParam());
+    XedController ctrl;
+    const auto g = ctrl.chip(0).geometry();
+    const auto addr = randomAddr(rng, g);
+    std::array<std::uint64_t, 8> line{};
+    for (auto &w : line)
+        w = rng.next();
+    ctrl.writeLine(addr, line);
+
+    Fault f;
+    f.granularity = FaultGranularity::SingleWord;
+    f.permanent = true;
+    f.addr = addr;
+    f.seed = GetParam() * 7919 + 13;
+    ctrl.chip(GetParam() % 9).faults().add(f);
+
+    const auto first = ctrl.readLine(addr);
+    const auto second = ctrl.readLine(addr);
+    EXPECT_EQ(first.data, line);
+    EXPECT_EQ(second.data, line);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ControllerProperty,
+                         ::testing::Range(0u, 8u));
+
+} // namespace
+} // namespace xed

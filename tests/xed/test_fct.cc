@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "xed/fct.hh"
+
+namespace xed
+{
+namespace
+{
+
+TEST(Fct, EmptyLookupMisses)
+{
+    FaultyRowChipTracker fct(4);
+    EXPECT_FALSE(fct.lookup(0, 0).has_value());
+    EXPECT_FALSE(fct.unanimousChip().has_value());
+}
+
+TEST(Fct, RecordAndLookup)
+{
+    FaultyRowChipTracker fct(4);
+    EXPECT_FALSE(fct.record(1, 100, 3));
+    ASSERT_TRUE(fct.lookup(1, 100).has_value());
+    EXPECT_EQ(*fct.lookup(1, 100), 3u);
+    EXPECT_FALSE(fct.lookup(1, 101).has_value());
+}
+
+TEST(Fct, SingleRowFailureDoesNotMarkChip)
+{
+    // Section VI-A: one faulty row populates one entry; the chip is NOT
+    // marked permanently faulty.
+    FaultyRowChipTracker fct(4);
+    EXPECT_FALSE(fct.record(0, 7, 2));
+    EXPECT_EQ(fct.size(), 1u);
+}
+
+TEST(Fct, ColumnFailureFillsTrackerUnanimously)
+{
+    // A column/bank failure produces many faulty rows all pointing at
+    // the same chip; once the tracker is full and unanimous the caller
+    // marks the chip.
+    FaultyRowChipTracker fct(4);
+    EXPECT_FALSE(fct.record(0, 1, 5));
+    EXPECT_FALSE(fct.record(0, 2, 5));
+    EXPECT_FALSE(fct.record(0, 3, 5));
+    EXPECT_TRUE(fct.record(0, 4, 5));
+    ASSERT_TRUE(fct.unanimousChip().has_value());
+    EXPECT_EQ(*fct.unanimousChip(), 5u);
+}
+
+TEST(Fct, MixedChipsNotUnanimous)
+{
+    FaultyRowChipTracker fct(2);
+    fct.record(0, 1, 5);
+    EXPECT_FALSE(fct.record(0, 2, 6));
+    EXPECT_FALSE(fct.unanimousChip().has_value());
+}
+
+TEST(Fct, FifoEviction)
+{
+    FaultyRowChipTracker fct(2);
+    fct.record(0, 1, 1);
+    fct.record(0, 2, 2);
+    fct.record(0, 3, 3); // evicts (0,1)
+    EXPECT_FALSE(fct.lookup(0, 1).has_value());
+    EXPECT_TRUE(fct.lookup(0, 2).has_value());
+    EXPECT_TRUE(fct.lookup(0, 3).has_value());
+}
+
+TEST(Fct, RecordExistingRowUpdatesChip)
+{
+    FaultyRowChipTracker fct(4);
+    fct.record(0, 1, 1);
+    fct.record(0, 1, 2);
+    EXPECT_EQ(fct.size(), 1u);
+    EXPECT_EQ(*fct.lookup(0, 1), 2u);
+}
+
+} // namespace
+} // namespace xed

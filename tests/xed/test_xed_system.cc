@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "common/rng.hh"
+#include "xed/xed_system.hh"
+
+namespace xed
+{
+namespace
+{
+
+class XedSystemTest : public ::testing::Test
+{
+  protected:
+    XedSystem sys;
+    Rng rng{0x5E5};
+};
+
+TEST_F(XedSystemTest, CapacityMatchesTableV)
+{
+    // 4 channels x 2 ranks x 2GB per rank (8 x 2Gb data chips) = 16GB.
+    EXPECT_EQ(sys.capacityBytes(), 16ull << 30);
+}
+
+TEST_F(XedSystemTest, DecodeEncodeRoundTrip)
+{
+    for (int i = 0; i < 2000; ++i) {
+        const std::uint64_t phys =
+            (rng.next() % sys.capacityBytes()) & ~0x3Full;
+        const auto addr = sys.decode(phys);
+        EXPECT_LT(addr.channel, 4u);
+        EXPECT_LT(addr.rank, 2u);
+        EXPECT_LT(addr.line.bank, 8u);
+        EXPECT_LT(addr.line.row, 32768u);
+        EXPECT_LT(addr.line.col, 128u);
+        EXPECT_EQ(sys.encode(addr), phys);
+    }
+}
+
+TEST_F(XedSystemTest, ConsecutiveLinesInterleaveAcrossChannels)
+{
+    // Line-interleaving: physical lines 0..3 land on channels 0..3.
+    for (unsigned i = 0; i < 8; ++i)
+        EXPECT_EQ(sys.decode(i * 64ull).channel, i % 4);
+}
+
+TEST_F(XedSystemTest, WriteReadThroughPhysicalAddresses)
+{
+    for (int i = 0; i < 100; ++i) {
+        const std::uint64_t phys =
+            (rng.next() % sys.capacityBytes()) & ~0x3Full;
+        std::array<std::uint64_t, 8> line{};
+        for (auto &w : line)
+            w = rng.next();
+        sys.writeLine(phys, line);
+        const auto r = sys.readLine(phys);
+        EXPECT_EQ(r.outcome, ReadOutcome::Clean);
+        EXPECT_EQ(r.data, line);
+    }
+}
+
+TEST_F(XedSystemTest, FaultInOneRankIsolatedAndCorrected)
+{
+    const std::uint64_t phys = 0x12340 << 6;
+    const auto addr = sys.decode(phys);
+    std::array<std::uint64_t, 8> line{};
+    for (auto &w : line)
+        w = rng.next();
+    sys.writeLine(phys, line);
+
+    dram::Fault f;
+    f.granularity = dram::FaultGranularity::SingleWord;
+    f.permanent = true;
+    f.addr = addr.line;
+    f.seed = 7;
+    sys.controller(addr.channel, addr.rank).chip(2).faults().add(f);
+
+    const auto r = sys.readLine(phys);
+    EXPECT_EQ(r.outcome, ReadOutcome::CorrectedErasure);
+    EXPECT_EQ(r.data, line);
+    EXPECT_EQ(sys.totalCounter("rebuilds"), 1u);
+
+    // A different channel is untouched by the fault.
+    const std::uint64_t other = phys ^ (1ull << 6);
+    EXPECT_NE(sys.decode(other).channel, addr.channel);
+    EXPECT_EQ(sys.readLine(other).outcome, ReadOutcome::Clean);
+}
+
+TEST_F(XedSystemTest, CountersAggregateAcrossRanks)
+{
+    std::array<std::uint64_t, 8> line{};
+    for (int i = 0; i < 16; ++i)
+        sys.writeLine(static_cast<std::uint64_t>(i) * 64, line);
+    EXPECT_EQ(sys.totalCounter("writes"), 16u);
+}
+
+TEST_F(XedSystemTest, RejectsNonPowerOfTwoShapes)
+{
+    XedSystemConfig bad;
+    bad.channels = 3;
+    EXPECT_THROW(XedSystem{bad}, std::invalid_argument);
+}
+
+TEST_F(XedSystemTest, HammingOnDieCodeOptionWorks)
+{
+    XedSystemConfig cfg;
+    cfg.controller.onDieCode = OnDieCodeKind::Hamming;
+    XedSystem hsys(cfg);
+    std::array<std::uint64_t, 8> line{1, 2, 3, 4, 5, 6, 7, 8};
+    hsys.writeLine(0x1000, line);
+
+    const auto addr = hsys.decode(0x1000);
+    dram::Fault f;
+    f.granularity = dram::FaultGranularity::SingleBit;
+    f.permanent = true;
+    f.addr = addr.line;
+    f.bitPos = 11;
+    hsys.controller(addr.channel, addr.rank).chip(0).faults().add(f);
+
+    const auto r = hsys.readLine(0x1000);
+    EXPECT_EQ(r.outcome, ReadOutcome::CorrectedErasure);
+    EXPECT_EQ(r.data, line);
+    EXPECT_EQ(hsys.controller(addr.channel, addr.rank)
+                  .onDieCode()
+                  .name(),
+              "(72,64) Hamming");
+}
+
+} // namespace
+} // namespace xed
