@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_catchword_width.dir/ablation_catchword_width.cc.o"
+  "CMakeFiles/ablation_catchword_width.dir/ablation_catchword_width.cc.o.d"
+  "ablation_catchword_width"
+  "ablation_catchword_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_catchword_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_diagnosis_threshold.dir/ablation_diagnosis_threshold.cc.o"
+  "CMakeFiles/ablation_diagnosis_threshold.dir/ablation_diagnosis_threshold.cc.o.d"
+  "ablation_diagnosis_threshold"
+  "ablation_diagnosis_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_diagnosis_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

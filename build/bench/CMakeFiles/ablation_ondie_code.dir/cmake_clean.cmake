@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ondie_code.dir/ablation_ondie_code.cc.o"
+  "CMakeFiles/ablation_ondie_code.dir/ablation_ondie_code.cc.o.d"
+  "ablation_ondie_code"
+  "ablation_ondie_code.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ondie_code.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_ondie_vs_dimm_ecc.dir/fig01_ondie_vs_dimm_ecc.cc.o"
+  "CMakeFiles/fig01_ondie_vs_dimm_ecc.dir/fig01_ondie_vs_dimm_ecc.cc.o.d"
+  "fig01_ondie_vs_dimm_ecc"
+  "fig01_ondie_vs_dimm_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_ondie_vs_dimm_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig01_ondie_vs_dimm_ecc.
+# This may be replaced when dependencies are built.

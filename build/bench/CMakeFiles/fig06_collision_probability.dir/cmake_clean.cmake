@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_collision_probability.dir/fig06_collision_probability.cc.o"
+  "CMakeFiles/fig06_collision_probability.dir/fig06_collision_probability.cc.o.d"
+  "fig06_collision_probability"
+  "fig06_collision_probability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_collision_probability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_xed_reliability.dir/fig07_xed_reliability.cc.o"
+  "CMakeFiles/fig07_xed_reliability.dir/fig07_xed_reliability.cc.o.d"
+  "fig07_xed_reliability"
+  "fig07_xed_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_xed_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

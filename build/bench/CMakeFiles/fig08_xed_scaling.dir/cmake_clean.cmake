@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_xed_scaling.dir/fig08_xed_scaling.cc.o"
+  "CMakeFiles/fig08_xed_scaling.dir/fig08_xed_scaling.cc.o.d"
+  "fig08_xed_scaling"
+  "fig08_xed_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_xed_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

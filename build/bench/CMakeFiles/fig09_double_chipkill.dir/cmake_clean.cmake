@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_double_chipkill.dir/fig09_double_chipkill.cc.o"
+  "CMakeFiles/fig09_double_chipkill.dir/fig09_double_chipkill.cc.o.d"
+  "fig09_double_chipkill"
+  "fig09_double_chipkill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_double_chipkill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_double_chipkill_scaling.dir/fig10_double_chipkill_scaling.cc.o"
+  "CMakeFiles/fig10_double_chipkill_scaling.dir/fig10_double_chipkill_scaling.cc.o.d"
+  "fig10_double_chipkill_scaling"
+  "fig10_double_chipkill_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_double_chipkill_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_exec_time.dir/fig11_exec_time.cc.o"
+  "CMakeFiles/fig11_exec_time.dir/fig11_exec_time.cc.o.d"
+  "fig11_exec_time"
+  "fig11_exec_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_exec_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_alternatives.dir/fig13_alternatives.cc.o"
+  "CMakeFiles/fig13_alternatives.dir/fig13_alternatives.cc.o.d"
+  "fig13_alternatives"
+  "fig13_alternatives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_alternatives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

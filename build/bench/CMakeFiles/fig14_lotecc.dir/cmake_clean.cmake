@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_lotecc.dir/fig14_lotecc.cc.o"
+  "CMakeFiles/fig14_lotecc.dir/fig14_lotecc.cc.o.d"
+  "fig14_lotecc"
+  "fig14_lotecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_lotecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_codecs.dir/micro_codecs.cc.o"
+  "CMakeFiles/micro_codecs.dir/micro_codecs.cc.o.d"
+  "micro_codecs"
+  "micro_codecs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_codecs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_detection_rates.dir/table2_detection_rates.cc.o"
+  "CMakeFiles/table2_detection_rates.dir/table2_detection_rates.cc.o.d"
+  "table2_detection_rates"
+  "table2_detection_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_detection_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

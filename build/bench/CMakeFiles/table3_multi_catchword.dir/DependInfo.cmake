@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table3_multi_catchword.cc" "bench/CMakeFiles/table3_multi_catchword.dir/table3_multi_catchword.cc.o" "gcc" "bench/CMakeFiles/table3_multi_catchword.dir/table3_multi_catchword.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/xed_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/faultsim/CMakeFiles/xed_faultsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/xed_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/xed_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xed_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

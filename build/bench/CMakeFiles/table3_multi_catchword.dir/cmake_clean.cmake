@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_multi_catchword.dir/table3_multi_catchword.cc.o"
+  "CMakeFiles/table3_multi_catchword.dir/table3_multi_catchword.cc.o.d"
+  "table3_multi_catchword"
+  "table3_multi_catchword.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_multi_catchword.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

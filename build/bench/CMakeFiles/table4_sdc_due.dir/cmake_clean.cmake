@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_sdc_due.dir/table4_sdc_due.cc.o"
+  "CMakeFiles/table4_sdc_due.dir/table4_sdc_due.cc.o.d"
+  "table4_sdc_due"
+  "table4_sdc_due.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_sdc_due.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datapath_recovery.dir/datapath_recovery.cpp.o"
+  "CMakeFiles/datapath_recovery.dir/datapath_recovery.cpp.o.d"
+  "datapath_recovery"
+  "datapath_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datapath_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

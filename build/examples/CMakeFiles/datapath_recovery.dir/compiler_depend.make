@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for datapath_recovery.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_comparison.dir/perf_comparison.cpp.o"
+  "CMakeFiles/perf_comparison.dir/perf_comparison.cpp.o.d"
+  "perf_comparison"
+  "perf_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliability_study.dir/reliability_study.cpp.o"
+  "CMakeFiles/reliability_study.dir/reliability_study.cpp.o.d"
+  "reliability_study"
+  "reliability_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliability_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/collision.cc" "src/analysis/CMakeFiles/xed_analysis.dir/collision.cc.o" "gcc" "src/analysis/CMakeFiles/xed_analysis.dir/collision.cc.o.d"
+  "/root/repo/src/analysis/multi_catchword.cc" "src/analysis/CMakeFiles/xed_analysis.dir/multi_catchword.cc.o" "gcc" "src/analysis/CMakeFiles/xed_analysis.dir/multi_catchword.cc.o.d"
+  "/root/repo/src/analysis/sdc_due.cc" "src/analysis/CMakeFiles/xed_analysis.dir/sdc_due.cc.o" "gcc" "src/analysis/CMakeFiles/xed_analysis.dir/sdc_due.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xed_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/faultsim/CMakeFiles/xed_faultsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/xed_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/xed_ecc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xed_analysis.dir/collision.cc.o"
+  "CMakeFiles/xed_analysis.dir/collision.cc.o.d"
+  "CMakeFiles/xed_analysis.dir/multi_catchword.cc.o"
+  "CMakeFiles/xed_analysis.dir/multi_catchword.cc.o.d"
+  "CMakeFiles/xed_analysis.dir/sdc_due.cc.o"
+  "CMakeFiles/xed_analysis.dir/sdc_due.cc.o.d"
+  "libxed_analysis.a"
+  "libxed_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xed_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

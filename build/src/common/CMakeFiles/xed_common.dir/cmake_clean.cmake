@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xed_common.dir/stats.cc.o"
+  "CMakeFiles/xed_common.dir/stats.cc.o.d"
+  "CMakeFiles/xed_common.dir/table.cc.o"
+  "CMakeFiles/xed_common.dir/table.cc.o.d"
+  "libxed_common.a"
+  "libxed_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xed_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

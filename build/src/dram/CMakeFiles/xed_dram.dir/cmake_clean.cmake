@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xed_dram.dir/chip.cc.o"
+  "CMakeFiles/xed_dram.dir/chip.cc.o.d"
+  "CMakeFiles/xed_dram.dir/fault_injector.cc.o"
+  "CMakeFiles/xed_dram.dir/fault_injector.cc.o.d"
+  "libxed_dram.a"
+  "libxed_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xed_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ecc/crc8atm.cc" "src/ecc/CMakeFiles/xed_ecc.dir/crc8atm.cc.o" "gcc" "src/ecc/CMakeFiles/xed_ecc.dir/crc8atm.cc.o.d"
+  "/root/repo/src/ecc/error_patterns.cc" "src/ecc/CMakeFiles/xed_ecc.dir/error_patterns.cc.o" "gcc" "src/ecc/CMakeFiles/xed_ecc.dir/error_patterns.cc.o.d"
+  "/root/repo/src/ecc/gf256.cc" "src/ecc/CMakeFiles/xed_ecc.dir/gf256.cc.o" "gcc" "src/ecc/CMakeFiles/xed_ecc.dir/gf256.cc.o.d"
+  "/root/repo/src/ecc/hamming7264.cc" "src/ecc/CMakeFiles/xed_ecc.dir/hamming7264.cc.o" "gcc" "src/ecc/CMakeFiles/xed_ecc.dir/hamming7264.cc.o.d"
+  "/root/repo/src/ecc/parity_raid3.cc" "src/ecc/CMakeFiles/xed_ecc.dir/parity_raid3.cc.o" "gcc" "src/ecc/CMakeFiles/xed_ecc.dir/parity_raid3.cc.o.d"
+  "/root/repo/src/ecc/reed_solomon.cc" "src/ecc/CMakeFiles/xed_ecc.dir/reed_solomon.cc.o" "gcc" "src/ecc/CMakeFiles/xed_ecc.dir/reed_solomon.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xed_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

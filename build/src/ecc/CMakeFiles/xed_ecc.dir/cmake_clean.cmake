@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xed_ecc.dir/crc8atm.cc.o"
+  "CMakeFiles/xed_ecc.dir/crc8atm.cc.o.d"
+  "CMakeFiles/xed_ecc.dir/error_patterns.cc.o"
+  "CMakeFiles/xed_ecc.dir/error_patterns.cc.o.d"
+  "CMakeFiles/xed_ecc.dir/gf256.cc.o"
+  "CMakeFiles/xed_ecc.dir/gf256.cc.o.d"
+  "CMakeFiles/xed_ecc.dir/hamming7264.cc.o"
+  "CMakeFiles/xed_ecc.dir/hamming7264.cc.o.d"
+  "CMakeFiles/xed_ecc.dir/parity_raid3.cc.o"
+  "CMakeFiles/xed_ecc.dir/parity_raid3.cc.o.d"
+  "CMakeFiles/xed_ecc.dir/reed_solomon.cc.o"
+  "CMakeFiles/xed_ecc.dir/reed_solomon.cc.o.d"
+  "libxed_ecc.a"
+  "libxed_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xed_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/faultsim/engine.cc" "src/faultsim/CMakeFiles/xed_faultsim.dir/engine.cc.o" "gcc" "src/faultsim/CMakeFiles/xed_faultsim.dir/engine.cc.o.d"
+  "/root/repo/src/faultsim/fault_model.cc" "src/faultsim/CMakeFiles/xed_faultsim.dir/fault_model.cc.o" "gcc" "src/faultsim/CMakeFiles/xed_faultsim.dir/fault_model.cc.o.d"
+  "/root/repo/src/faultsim/fault_range.cc" "src/faultsim/CMakeFiles/xed_faultsim.dir/fault_range.cc.o" "gcc" "src/faultsim/CMakeFiles/xed_faultsim.dir/fault_range.cc.o.d"
+  "/root/repo/src/faultsim/schemes.cc" "src/faultsim/CMakeFiles/xed_faultsim.dir/schemes.cc.o" "gcc" "src/faultsim/CMakeFiles/xed_faultsim.dir/schemes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xed_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/xed_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/xed_ecc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xed_faultsim.dir/engine.cc.o"
+  "CMakeFiles/xed_faultsim.dir/engine.cc.o.d"
+  "CMakeFiles/xed_faultsim.dir/fault_model.cc.o"
+  "CMakeFiles/xed_faultsim.dir/fault_model.cc.o.d"
+  "CMakeFiles/xed_faultsim.dir/fault_range.cc.o"
+  "CMakeFiles/xed_faultsim.dir/fault_range.cc.o.d"
+  "CMakeFiles/xed_faultsim.dir/schemes.cc.o"
+  "CMakeFiles/xed_faultsim.dir/schemes.cc.o.d"
+  "libxed_faultsim.a"
+  "libxed_faultsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xed_faultsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

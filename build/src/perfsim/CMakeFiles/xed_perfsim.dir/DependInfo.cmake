@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perfsim/core.cc" "src/perfsim/CMakeFiles/xed_perfsim.dir/core.cc.o" "gcc" "src/perfsim/CMakeFiles/xed_perfsim.dir/core.cc.o.d"
+  "/root/repo/src/perfsim/memsys.cc" "src/perfsim/CMakeFiles/xed_perfsim.dir/memsys.cc.o" "gcc" "src/perfsim/CMakeFiles/xed_perfsim.dir/memsys.cc.o.d"
+  "/root/repo/src/perfsim/power.cc" "src/perfsim/CMakeFiles/xed_perfsim.dir/power.cc.o" "gcc" "src/perfsim/CMakeFiles/xed_perfsim.dir/power.cc.o.d"
+  "/root/repo/src/perfsim/protection.cc" "src/perfsim/CMakeFiles/xed_perfsim.dir/protection.cc.o" "gcc" "src/perfsim/CMakeFiles/xed_perfsim.dir/protection.cc.o.d"
+  "/root/repo/src/perfsim/system.cc" "src/perfsim/CMakeFiles/xed_perfsim.dir/system.cc.o" "gcc" "src/perfsim/CMakeFiles/xed_perfsim.dir/system.cc.o.d"
+  "/root/repo/src/perfsim/tracegen.cc" "src/perfsim/CMakeFiles/xed_perfsim.dir/tracegen.cc.o" "gcc" "src/perfsim/CMakeFiles/xed_perfsim.dir/tracegen.cc.o.d"
+  "/root/repo/src/perfsim/workloads.cc" "src/perfsim/CMakeFiles/xed_perfsim.dir/workloads.cc.o" "gcc" "src/perfsim/CMakeFiles/xed_perfsim.dir/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xed_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xed_perfsim.dir/core.cc.o"
+  "CMakeFiles/xed_perfsim.dir/core.cc.o.d"
+  "CMakeFiles/xed_perfsim.dir/memsys.cc.o"
+  "CMakeFiles/xed_perfsim.dir/memsys.cc.o.d"
+  "CMakeFiles/xed_perfsim.dir/power.cc.o"
+  "CMakeFiles/xed_perfsim.dir/power.cc.o.d"
+  "CMakeFiles/xed_perfsim.dir/protection.cc.o"
+  "CMakeFiles/xed_perfsim.dir/protection.cc.o.d"
+  "CMakeFiles/xed_perfsim.dir/system.cc.o"
+  "CMakeFiles/xed_perfsim.dir/system.cc.o.d"
+  "CMakeFiles/xed_perfsim.dir/tracegen.cc.o"
+  "CMakeFiles/xed_perfsim.dir/tracegen.cc.o.d"
+  "CMakeFiles/xed_perfsim.dir/workloads.cc.o"
+  "CMakeFiles/xed_perfsim.dir/workloads.cc.o.d"
+  "libxed_perfsim.a"
+  "libxed_perfsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xed_perfsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xed/chipkill_controller.cc" "src/xed/CMakeFiles/xed_core.dir/chipkill_controller.cc.o" "gcc" "src/xed/CMakeFiles/xed_core.dir/chipkill_controller.cc.o.d"
+  "/root/repo/src/xed/controller.cc" "src/xed/CMakeFiles/xed_core.dir/controller.cc.o" "gcc" "src/xed/CMakeFiles/xed_core.dir/controller.cc.o.d"
+  "/root/repo/src/xed/fct.cc" "src/xed/CMakeFiles/xed_core.dir/fct.cc.o" "gcc" "src/xed/CMakeFiles/xed_core.dir/fct.cc.o.d"
+  "/root/repo/src/xed/xed_system.cc" "src/xed/CMakeFiles/xed_core.dir/xed_system.cc.o" "gcc" "src/xed/CMakeFiles/xed_core.dir/xed_system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xed_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/xed_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/xed_dram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xed_core.dir/chipkill_controller.cc.o"
+  "CMakeFiles/xed_core.dir/chipkill_controller.cc.o.d"
+  "CMakeFiles/xed_core.dir/controller.cc.o"
+  "CMakeFiles/xed_core.dir/controller.cc.o.d"
+  "CMakeFiles/xed_core.dir/fct.cc.o"
+  "CMakeFiles/xed_core.dir/fct.cc.o.d"
+  "CMakeFiles/xed_core.dir/xed_system.cc.o"
+  "CMakeFiles/xed_core.dir/xed_system.cc.o.d"
+  "libxed_core.a"
+  "libxed_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xed_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

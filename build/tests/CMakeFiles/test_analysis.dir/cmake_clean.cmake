@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis.dir/analysis/test_collision.cc.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_collision.cc.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_multi_catchword.cc.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_multi_catchword.cc.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_sdc_due.cc.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_sdc_due.cc.o.d"
+  "test_analysis"
+  "test_analysis.pdb"
+  "test_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/test_bitops.cc" "tests/CMakeFiles/test_common.dir/common/test_bitops.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_bitops.cc.o.d"
+  "/root/repo/tests/common/test_edge_cases.cc" "tests/CMakeFiles/test_common.dir/common/test_edge_cases.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_edge_cases.cc.o.d"
+  "/root/repo/tests/common/test_rng.cc" "tests/CMakeFiles/test_common.dir/common/test_rng.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_rng.cc.o.d"
+  "/root/repo/tests/common/test_stats.cc" "tests/CMakeFiles/test_common.dir/common/test_stats.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_stats.cc.o.d"
+  "/root/repo/tests/common/test_table.cc" "tests/CMakeFiles/test_common.dir/common/test_table.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xed_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dram.dir/dram/test_chip.cc.o"
+  "CMakeFiles/test_dram.dir/dram/test_chip.cc.o.d"
+  "CMakeFiles/test_dram.dir/dram/test_fault_injector.cc.o"
+  "CMakeFiles/test_dram.dir/dram/test_fault_injector.cc.o.d"
+  "CMakeFiles/test_dram.dir/dram/test_geometry.cc.o"
+  "CMakeFiles/test_dram.dir/dram/test_geometry.cc.o.d"
+  "test_dram"
+  "test_dram.pdb"
+  "test_dram[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ecc/test_crc8atm.cc" "tests/CMakeFiles/test_ecc.dir/ecc/test_crc8atm.cc.o" "gcc" "tests/CMakeFiles/test_ecc.dir/ecc/test_crc8atm.cc.o.d"
+  "/root/repo/tests/ecc/test_detection_properties.cc" "tests/CMakeFiles/test_ecc.dir/ecc/test_detection_properties.cc.o" "gcc" "tests/CMakeFiles/test_ecc.dir/ecc/test_detection_properties.cc.o.d"
+  "/root/repo/tests/ecc/test_error_patterns.cc" "tests/CMakeFiles/test_ecc.dir/ecc/test_error_patterns.cc.o" "gcc" "tests/CMakeFiles/test_ecc.dir/ecc/test_error_patterns.cc.o.d"
+  "/root/repo/tests/ecc/test_gf256.cc" "tests/CMakeFiles/test_ecc.dir/ecc/test_gf256.cc.o" "gcc" "tests/CMakeFiles/test_ecc.dir/ecc/test_gf256.cc.o.d"
+  "/root/repo/tests/ecc/test_hamming7264.cc" "tests/CMakeFiles/test_ecc.dir/ecc/test_hamming7264.cc.o" "gcc" "tests/CMakeFiles/test_ecc.dir/ecc/test_hamming7264.cc.o.d"
+  "/root/repo/tests/ecc/test_parity_raid3.cc" "tests/CMakeFiles/test_ecc.dir/ecc/test_parity_raid3.cc.o" "gcc" "tests/CMakeFiles/test_ecc.dir/ecc/test_parity_raid3.cc.o.d"
+  "/root/repo/tests/ecc/test_reed_solomon.cc" "tests/CMakeFiles/test_ecc.dir/ecc/test_reed_solomon.cc.o" "gcc" "tests/CMakeFiles/test_ecc.dir/ecc/test_reed_solomon.cc.o.d"
+  "/root/repo/tests/ecc/test_rs_param_sweep.cc" "tests/CMakeFiles/test_ecc.dir/ecc/test_rs_param_sweep.cc.o" "gcc" "tests/CMakeFiles/test_ecc.dir/ecc/test_rs_param_sweep.cc.o.d"
+  "/root/repo/tests/ecc/test_word72.cc" "tests/CMakeFiles/test_ecc.dir/ecc/test_word72.cc.o" "gcc" "tests/CMakeFiles/test_ecc.dir/ecc/test_word72.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ecc/CMakeFiles/xed_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xed_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

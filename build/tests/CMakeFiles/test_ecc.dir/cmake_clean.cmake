@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ecc.dir/ecc/test_crc8atm.cc.o"
+  "CMakeFiles/test_ecc.dir/ecc/test_crc8atm.cc.o.d"
+  "CMakeFiles/test_ecc.dir/ecc/test_detection_properties.cc.o"
+  "CMakeFiles/test_ecc.dir/ecc/test_detection_properties.cc.o.d"
+  "CMakeFiles/test_ecc.dir/ecc/test_error_patterns.cc.o"
+  "CMakeFiles/test_ecc.dir/ecc/test_error_patterns.cc.o.d"
+  "CMakeFiles/test_ecc.dir/ecc/test_gf256.cc.o"
+  "CMakeFiles/test_ecc.dir/ecc/test_gf256.cc.o.d"
+  "CMakeFiles/test_ecc.dir/ecc/test_hamming7264.cc.o"
+  "CMakeFiles/test_ecc.dir/ecc/test_hamming7264.cc.o.d"
+  "CMakeFiles/test_ecc.dir/ecc/test_parity_raid3.cc.o"
+  "CMakeFiles/test_ecc.dir/ecc/test_parity_raid3.cc.o.d"
+  "CMakeFiles/test_ecc.dir/ecc/test_reed_solomon.cc.o"
+  "CMakeFiles/test_ecc.dir/ecc/test_reed_solomon.cc.o.d"
+  "CMakeFiles/test_ecc.dir/ecc/test_rs_param_sweep.cc.o"
+  "CMakeFiles/test_ecc.dir/ecc/test_rs_param_sweep.cc.o.d"
+  "CMakeFiles/test_ecc.dir/ecc/test_word72.cc.o"
+  "CMakeFiles/test_ecc.dir/ecc/test_word72.cc.o.d"
+  "test_ecc"
+  "test_ecc.pdb"
+  "test_ecc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

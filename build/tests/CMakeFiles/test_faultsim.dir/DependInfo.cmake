@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/faultsim/test_engine.cc" "tests/CMakeFiles/test_faultsim.dir/faultsim/test_engine.cc.o" "gcc" "tests/CMakeFiles/test_faultsim.dir/faultsim/test_engine.cc.o.d"
+  "/root/repo/tests/faultsim/test_engine_lifetime.cc" "tests/CMakeFiles/test_faultsim.dir/faultsim/test_engine_lifetime.cc.o" "gcc" "tests/CMakeFiles/test_faultsim.dir/faultsim/test_engine_lifetime.cc.o.d"
+  "/root/repo/tests/faultsim/test_fault_model.cc" "tests/CMakeFiles/test_faultsim.dir/faultsim/test_fault_model.cc.o" "gcc" "tests/CMakeFiles/test_faultsim.dir/faultsim/test_fault_model.cc.o.d"
+  "/root/repo/tests/faultsim/test_fault_range.cc" "tests/CMakeFiles/test_faultsim.dir/faultsim/test_fault_range.cc.o" "gcc" "tests/CMakeFiles/test_faultsim.dir/faultsim/test_fault_range.cc.o.d"
+  "/root/repo/tests/faultsim/test_scheme_properties.cc" "tests/CMakeFiles/test_faultsim.dir/faultsim/test_scheme_properties.cc.o" "gcc" "tests/CMakeFiles/test_faultsim.dir/faultsim/test_scheme_properties.cc.o.d"
+  "/root/repo/tests/faultsim/test_schemes.cc" "tests/CMakeFiles/test_faultsim.dir/faultsim/test_schemes.cc.o" "gcc" "tests/CMakeFiles/test_faultsim.dir/faultsim/test_schemes.cc.o.d"
+  "/root/repo/tests/faultsim/test_scrubbing.cc" "tests/CMakeFiles/test_faultsim.dir/faultsim/test_scrubbing.cc.o" "gcc" "tests/CMakeFiles/test_faultsim.dir/faultsim/test_scrubbing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/faultsim/CMakeFiles/xed_faultsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/xed_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/xed_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xed_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_faultsim.dir/faultsim/test_engine.cc.o"
+  "CMakeFiles/test_faultsim.dir/faultsim/test_engine.cc.o.d"
+  "CMakeFiles/test_faultsim.dir/faultsim/test_engine_lifetime.cc.o"
+  "CMakeFiles/test_faultsim.dir/faultsim/test_engine_lifetime.cc.o.d"
+  "CMakeFiles/test_faultsim.dir/faultsim/test_fault_model.cc.o"
+  "CMakeFiles/test_faultsim.dir/faultsim/test_fault_model.cc.o.d"
+  "CMakeFiles/test_faultsim.dir/faultsim/test_fault_range.cc.o"
+  "CMakeFiles/test_faultsim.dir/faultsim/test_fault_range.cc.o.d"
+  "CMakeFiles/test_faultsim.dir/faultsim/test_scheme_properties.cc.o"
+  "CMakeFiles/test_faultsim.dir/faultsim/test_scheme_properties.cc.o.d"
+  "CMakeFiles/test_faultsim.dir/faultsim/test_schemes.cc.o"
+  "CMakeFiles/test_faultsim.dir/faultsim/test_schemes.cc.o.d"
+  "CMakeFiles/test_faultsim.dir/faultsim/test_scrubbing.cc.o"
+  "CMakeFiles/test_faultsim.dir/faultsim/test_scrubbing.cc.o.d"
+  "test_faultsim"
+  "test_faultsim.pdb"
+  "test_faultsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_faultsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

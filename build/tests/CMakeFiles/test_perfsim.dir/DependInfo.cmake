@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/perfsim/test_memsys.cc" "tests/CMakeFiles/test_perfsim.dir/perfsim/test_memsys.cc.o" "gcc" "tests/CMakeFiles/test_perfsim.dir/perfsim/test_memsys.cc.o.d"
+  "/root/repo/tests/perfsim/test_perf_properties.cc" "tests/CMakeFiles/test_perfsim.dir/perfsim/test_perf_properties.cc.o" "gcc" "tests/CMakeFiles/test_perfsim.dir/perfsim/test_perf_properties.cc.o.d"
+  "/root/repo/tests/perfsim/test_power.cc" "tests/CMakeFiles/test_perfsim.dir/perfsim/test_power.cc.o" "gcc" "tests/CMakeFiles/test_perfsim.dir/perfsim/test_power.cc.o.d"
+  "/root/repo/tests/perfsim/test_protection.cc" "tests/CMakeFiles/test_perfsim.dir/perfsim/test_protection.cc.o" "gcc" "tests/CMakeFiles/test_perfsim.dir/perfsim/test_protection.cc.o.d"
+  "/root/repo/tests/perfsim/test_system.cc" "tests/CMakeFiles/test_perfsim.dir/perfsim/test_system.cc.o" "gcc" "tests/CMakeFiles/test_perfsim.dir/perfsim/test_system.cc.o.d"
+  "/root/repo/tests/perfsim/test_tracegen.cc" "tests/CMakeFiles/test_perfsim.dir/perfsim/test_tracegen.cc.o" "gcc" "tests/CMakeFiles/test_perfsim.dir/perfsim/test_tracegen.cc.o.d"
+  "/root/repo/tests/perfsim/test_workloads.cc" "tests/CMakeFiles/test_perfsim.dir/perfsim/test_workloads.cc.o" "gcc" "tests/CMakeFiles/test_perfsim.dir/perfsim/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/perfsim/CMakeFiles/xed_perfsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xed_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perfsim.dir/perfsim/test_memsys.cc.o"
+  "CMakeFiles/test_perfsim.dir/perfsim/test_memsys.cc.o.d"
+  "CMakeFiles/test_perfsim.dir/perfsim/test_perf_properties.cc.o"
+  "CMakeFiles/test_perfsim.dir/perfsim/test_perf_properties.cc.o.d"
+  "CMakeFiles/test_perfsim.dir/perfsim/test_power.cc.o"
+  "CMakeFiles/test_perfsim.dir/perfsim/test_power.cc.o.d"
+  "CMakeFiles/test_perfsim.dir/perfsim/test_protection.cc.o"
+  "CMakeFiles/test_perfsim.dir/perfsim/test_protection.cc.o.d"
+  "CMakeFiles/test_perfsim.dir/perfsim/test_system.cc.o"
+  "CMakeFiles/test_perfsim.dir/perfsim/test_system.cc.o.d"
+  "CMakeFiles/test_perfsim.dir/perfsim/test_tracegen.cc.o"
+  "CMakeFiles/test_perfsim.dir/perfsim/test_tracegen.cc.o.d"
+  "CMakeFiles/test_perfsim.dir/perfsim/test_workloads.cc.o"
+  "CMakeFiles/test_perfsim.dir/perfsim/test_workloads.cc.o.d"
+  "test_perfsim"
+  "test_perfsim.pdb"
+  "test_perfsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perfsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

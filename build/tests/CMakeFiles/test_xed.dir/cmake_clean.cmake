@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xed.dir/xed/test_chipkill_controller.cc.o"
+  "CMakeFiles/test_xed.dir/xed/test_chipkill_controller.cc.o.d"
+  "CMakeFiles/test_xed.dir/xed/test_controller.cc.o"
+  "CMakeFiles/test_xed.dir/xed/test_controller.cc.o.d"
+  "CMakeFiles/test_xed.dir/xed/test_controller_properties.cc.o"
+  "CMakeFiles/test_xed.dir/xed/test_controller_properties.cc.o.d"
+  "CMakeFiles/test_xed.dir/xed/test_fct.cc.o"
+  "CMakeFiles/test_xed.dir/xed/test_fct.cc.o.d"
+  "CMakeFiles/test_xed.dir/xed/test_xed_system.cc.o"
+  "CMakeFiles/test_xed.dir/xed/test_xed_system.cc.o.d"
+  "test_xed"
+  "test_xed.pdb"
+  "test_xed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
