@@ -5,8 +5,15 @@
  *
  * Every bench accepts:
  *   XED_MC_SYSTEMS  -- Monte-Carlo systems per scheme (reliability)
+ *   XED_MC_THREADS  -- Monte-Carlo worker threads (default: hardware
+ *                      concurrency; results are thread-count invariant)
  *   XED_PERF_OPS    -- memory ops per core (performance)
  * so the full-fidelity (paper-scale) runs are one env var away.
+ *
+ * XED_MC_THREADS needs no per-bench plumbing: McConfig::threads
+ * defaults to 0 ("auto"), which the engine resolves to XED_MC_THREADS
+ * and then to std::thread::hardware_concurrency(). mcThreads() is for
+ * harnesses that want to surface the resolved value.
  */
 
 #ifndef XED_BENCH_BENCH_UTIL_HH
@@ -15,6 +22,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <string>
+#include <thread>
 
 namespace xed::bench
 {
@@ -40,6 +48,15 @@ inline std::uint64_t
 perfOps(std::uint64_t fallback = 8000)
 {
     return envScale("XED_PERF_OPS", fallback);
+}
+
+/** Monte-Carlo worker threads: XED_MC_THREADS, else the hardware. */
+inline unsigned
+mcThreads()
+{
+    const auto hw = std::thread::hardware_concurrency();
+    return static_cast<unsigned>(
+        envScale("XED_MC_THREADS", hw ? hw : 1));
 }
 
 } // namespace xed::bench

@@ -88,7 +88,32 @@ class Rng
         return -std::log(1.0 - uniform()) / rate;
     }
 
-    /** Fork an independent stream (for per-system MC parallelism). */
+    /**
+     * Counter-based stream derivation: a deterministic, independent
+     * stream for (seed, index) that does NOT depend on how many values
+     * any other stream has consumed. The Monte-Carlo engine gives
+     * system s the stream Rng::stream(config.seed, s), which makes the
+     * results bit-identical for any worker-thread count (including 1).
+     *
+     * Contrast with fork(): forking advances the parent generator, so
+     * the stream a system receives would depend on how many draws every
+     * system before it made -- fine for a fixed serial order, useless
+     * for reproducible sharding.
+     */
+    static Rng
+    stream(std::uint64_t seed, std::uint64_t index)
+    {
+        // Two independent splitmix64 passes decorrelate seed and index
+        // before the constructor's own splitmix64 expansion.
+        return Rng(mix64(seed) ^ mix64(~index * 0xD2B74407B1CE6E93ull));
+    }
+
+    /**
+     * Fork an independent stream by drawing from this generator.
+     * Suitable for handing a child component its own RNG at a fixed
+     * point in a serial program; NOT suitable for per-system
+     * parallelism (see stream()).
+     */
     Rng
     fork()
     {
@@ -96,6 +121,16 @@ class Rng
     }
 
   private:
+    /** splitmix64 finalizer (Steele, Lea & Flood). */
+    static std::uint64_t
+    mix64(std::uint64_t z)
+    {
+        z += 0x9E3779B97F4A7C15ull;
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+        return z ^ (z >> 31);
+    }
+
     static std::uint64_t
     rotl(std::uint64_t x, int k)
     {

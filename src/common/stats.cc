@@ -22,6 +22,29 @@ RunningStat::add(double x)
     }
 }
 
+void
+RunningStat::merge(const RunningStat &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    // Chan, Golub & LeVeque (1983): pairwise update of the first two
+    // moments from sub-aggregate (n, mean, M2) triples.
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double nTotal = na + nb;
+    mean_ += delta * (nb / nTotal);
+    m2_ += other.m2_ + delta * delta * (na * nb / nTotal);
+    n_ += other.n_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
 double
 RunningStat::variance() const
 {
@@ -95,6 +118,13 @@ void
 CounterSet::inc(const std::string &name, std::uint64_t by)
 {
     counters_[name] += by;
+}
+
+void
+CounterSet::merge(const CounterSet &other)
+{
+    for (const auto &[name, count] : other.counters_)
+        counters_[name] += count;
 }
 
 std::uint64_t

@@ -20,6 +20,13 @@ class RunningStat
 {
   public:
     void add(double x);
+    /**
+     * Fold another accumulator into this one (Chan's parallel Welford
+     * update), so independent shards can be reduced after a parallel
+     * run. Merging {A} into {B} gives the same moments as streaming
+     * A then B through one accumulator, up to rounding.
+     */
+    void merge(const RunningStat &other);
 
     std::uint64_t count() const { return n_; }
     double mean() const { return n_ ? mean_ : 0.0; }
@@ -50,6 +57,11 @@ class Proportion
   public:
     void add(bool success) { ++trials_; successes_ += success ? 1 : 0; }
     void addMany(std::uint64_t successes, std::uint64_t trials);
+    /** Fold another proportion's counts into this one. */
+    void merge(const Proportion &other)
+    {
+        addMany(other.successes_, other.trials_);
+    }
 
     std::uint64_t successes() const { return successes_; }
     std::uint64_t trials() const { return trials_; }
@@ -69,6 +81,8 @@ class CounterSet
 {
   public:
     void inc(const std::string &name, std::uint64_t by = 1);
+    /** Fold another counter set's counts into this one. */
+    void merge(const CounterSet &other);
     std::uint64_t get(const std::string &name) const;
     const std::map<std::string, std::uint64_t> &all() const
     {

@@ -1,23 +1,30 @@
 #include "faultsim/engine.hh"
 
-#include <cmath>
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+#include <vector>
 
 namespace xed::faultsim
 {
 
-McResult
-runMonteCarlo(const Scheme &scheme, const McConfig &config)
+namespace
 {
-    McResult result;
-    Rng rng(config.seed);
-    const AddressLayout layout(config.geometry);
-    const FitTable fit;
-    const DimmShape shape = scheme.dimmShape();
-    const double hours = config.years * hoursPerYear;
-    const unsigned lastYear =
-        static_cast<unsigned>(std::lround(config.years));
 
-    for (std::uint64_t s = 0; s < config.systems; ++s) {
+/**
+ * Simulate systems [begin, end) and accumulate into @p partial. Each
+ * system's RNG is derived from (seed, s) alone, so the shard
+ * boundaries never affect the sampled faults.
+ */
+void
+runShard(const Scheme &scheme, const McConfig &config,
+         const AddressLayout &layout, const FitTable &fit,
+         const DimmShape &shape, std::uint64_t begin, std::uint64_t end,
+         McResult &partial)
+{
+    const double hours = config.years * hoursPerYear;
+    for (std::uint64_t s = begin; s < end; ++s) {
+        Rng rng = Rng::stream(config.seed, s);
         double failTime = -1;
         const char *failType = nullptr;
         for (unsigned ch = 0; ch < config.channels; ++ch) {
@@ -33,12 +40,78 @@ runMonteCarlo(const Scheme &scheme, const McConfig &config)
                 }
             }
         }
-        for (unsigned y = 1; y <= lastYear && y < 8; ++y)
-            result.failByYear[y].add(failTime >= 0 &&
-                                     failTime <= y * hoursPerYear);
+        // Only credit years that were fully simulated: a run with
+        // years = 0.5 must not report a year-1 failure probability.
+        for (unsigned y = 1; y < 8 && y * hoursPerYear <= hours; ++y)
+            partial.failByYear[y].add(failTime >= 0 &&
+                                      failTime <= y * hoursPerYear);
         if (failTime >= 0)
-            result.failureTypes.inc(failType);
+            partial.failureTypes.inc(failType);
     }
+}
+
+/** Resolve McConfig::threads: 0 = XED_MC_THREADS, else the hardware. */
+unsigned
+resolveThreads(unsigned requested, std::uint64_t systems)
+{
+    unsigned threads = requested;
+    if (threads == 0) {
+        if (const char *env = std::getenv("XED_MC_THREADS"))
+            threads = static_cast<unsigned>(
+                std::strtoul(env, nullptr, 10));
+        if (threads == 0)
+            threads = std::thread::hardware_concurrency();
+        if (threads == 0)
+            threads = 1;
+    }
+    // No point spawning workers with empty shards.
+    return static_cast<unsigned>(
+        std::min<std::uint64_t>(threads, std::max<std::uint64_t>(
+                                             systems, 1)));
+}
+
+} // namespace
+
+McResult
+runMonteCarlo(const Scheme &scheme, const McConfig &config)
+{
+    const AddressLayout layout(config.geometry);
+    const FitTable fit;
+    const DimmShape shape = scheme.dimmShape();
+    const unsigned threads = resolveThreads(config.threads,
+                                            config.systems);
+
+    if (threads == 1) {
+        McResult result;
+        runShard(scheme, config, layout, fit, shape, 0, config.systems,
+                 result);
+        return result;
+    }
+
+    // Fixed contiguous shards: thread t owns systems
+    // [t * chunk, ...), the first (systems % threads) shards taking one
+    // extra. Merging integer counts shard-by-shard is exact, so the
+    // reduction below is bit-identical to the single-thread path.
+    std::vector<McResult> partials(threads);
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    const std::uint64_t chunk = config.systems / threads;
+    const std::uint64_t extra = config.systems % threads;
+    std::uint64_t begin = 0;
+    for (unsigned t = 0; t < threads; ++t) {
+        const std::uint64_t end = begin + chunk + (t < extra ? 1 : 0);
+        workers.emplace_back([&, begin, end, t] {
+            runShard(scheme, config, layout, fit, shape, begin, end,
+                     partials[t]);
+        });
+        begin = end;
+    }
+    for (auto &worker : workers)
+        worker.join();
+
+    McResult result;
+    for (const auto &partial : partials)
+        result.merge(partial);
     return result;
 }
 

@@ -37,6 +37,14 @@ struct McConfig
      * and lets faults accumulate for the whole lifetime.
      */
     double scrubIntervalHours = 0;
+    /**
+     * Worker threads sharding the system loop. 0 (the default) means
+     * "auto": the XED_MC_THREADS environment variable if set, else
+     * std::thread::hardware_concurrency(). Because every system s
+     * draws from its own counter-based RNG stream (seed, s), the
+     * result is bit-identical for every thread count, including 1.
+     */
+    unsigned threads = 0;
 };
 
 struct McResult
@@ -56,9 +64,24 @@ struct McResult
                 return failByYear[y].value();
         return 0.0;
     }
+
+    /** Reduce another shard's partial result into this one. All fields
+     *  are integer counts, so merging is exact and order-insensitive. */
+    void
+    merge(const McResult &other)
+    {
+        for (unsigned y = 0; y < failByYear.size(); ++y)
+            failByYear[y].merge(other.failByYear[y]);
+        failureTypes.merge(other.failureTypes);
+    }
 };
 
-/** Run the Monte-Carlo for one scheme. */
+/**
+ * Run the Monte-Carlo for one scheme, sharding the system loop over
+ * config.threads workers (see McConfig::threads). System s derives its
+ * RNG as Rng::stream(config.seed, s), so the returned McResult is
+ * bit-identical for any thread count.
+ */
 McResult runMonteCarlo(const Scheme &scheme, const McConfig &config);
 
 } // namespace xed::faultsim

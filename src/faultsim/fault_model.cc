@@ -20,6 +20,21 @@ samplePoisson(Rng &rng, double lambda)
     return k - 1;
 }
 
+FaultKind
+pickFaultKind(const FitTable &fit, double draw)
+{
+    double cumulative = 0;
+    for (unsigned i = 0; i + 1 < numFaultKinds; ++i) {
+        cumulative += fit.rates[i].total();
+        // Strict <: a draw landing exactly on a boundary belongs to
+        // the next kind, which keeps zero-rate kinds (empty brackets,
+        // notably draw == 0 with rates[0] == 0) unreachable.
+        if (draw < cumulative)
+            return static_cast<FaultKind>(i);
+    }
+    return static_cast<FaultKind>(numFaultKinds - 1);
+}
+
 std::vector<FaultEvent>
 sampleDimmFaults(Rng &rng, const FitTable &fit, const AddressLayout &layout,
                  const DimmShape &shape, double hours,
@@ -29,30 +44,18 @@ sampleDimmFaults(Rng &rng, const FitTable &fit, const AddressLayout &layout,
 
     // Total event rate across all chips and kinds (transient +
     // permanent), then attribute each sampled event.
-    const double perChip = fit.totalFit() * 1e-9 * hours;
+    const double sum = fit.totalFit();
+    const double perChip = sum * 1e-9 * hours;
     const double lambda = perChip * shape.chips();
     const unsigned count = samplePoisson(rng, lambda);
     if (count == 0)
         return events;
 
-    // Cumulative kind weights.
-    double cumulative[numFaultKinds];
-    double sum = 0;
-    for (unsigned i = 0; i < numFaultKinds; ++i) {
-        sum += fit.rates[i].total();
-        cumulative[i] = sum;
-    }
-
     for (unsigned e = 0; e < count; ++e) {
         const unsigned chipLinear =
             static_cast<unsigned>(rng.below(shape.chips()));
-        const double kindDraw = rng.uniform() * sum;
-        unsigned kindIdx = 0;
-        while (kindIdx + 1 < numFaultKinds &&
-               kindDraw > cumulative[kindIdx])
-            ++kindIdx;
-        const auto kind = static_cast<FaultKind>(kindIdx);
-        const auto &entry = fit.rates[kindIdx];
+        const auto kind = pickFaultKind(fit, rng.uniform() * sum);
+        const auto &entry = fit.entry(kind);
         const bool transient =
             rng.uniform() * entry.total() < entry.transient;
         const double time = rng.uniform() * hours;

@@ -49,6 +49,15 @@ struct FaultEvent
 /** Sample a Poisson variate (small-lambda inversion method). */
 unsigned samplePoisson(Rng &rng, double lambda);
 
+/**
+ * Map a draw in [0, fit.totalFit()) to the fault kind whose cumulative
+ * FIT bracket contains it. A draw landing exactly on a bracket
+ * boundary belongs to the next kind, so zero-rate kinds (an empty
+ * bracket, notably draw == 0 when the first entry is zero) are
+ * unreachable.
+ */
+FaultKind pickFaultKind(const FitTable &fit, double draw);
+
 /** Organization of one sampling unit (usually one DIMM). */
 struct DimmShape
 {

@@ -95,16 +95,22 @@ class SchemeBase : public Scheme
     evaluateDimm(const std::vector<FaultEvent> &events,
                  const AddressLayout &layout, Rng &rng) const override
     {
-        std::optional<SchemeFailure> best;
         const unsigned groups = 2 / groupRanks_;
+        if (groups == 1) // every rank in one group: no partition needed
+            return events.empty()
+                       ? std::nullopt
+                       : evaluateGroup(events, layout, rng);
+        std::optional<SchemeFailure> best;
+        std::vector<FaultEvent> groupEvents;
+        groupEvents.reserve(events.size());
         for (unsigned g = 0; g < groups; ++g) {
-            groupEvents_.clear();
+            groupEvents.clear();
             for (const auto &e : events)
                 if (e.rank / groupRanks_ == g)
-                    groupEvents_.push_back(e);
-            if (groupEvents_.empty())
+                    groupEvents.push_back(e);
+            if (groupEvents.empty())
                 continue;
-            if (const auto f = evaluateGroup(groupEvents_, layout, rng))
+            if (const auto f = evaluateGroup(groupEvents, layout, rng))
                 keepEarliest(best, f->timeHours, f->type);
         }
         return best;
@@ -119,9 +125,6 @@ class SchemeBase : public Scheme
     unsigned chipsPerRank_;
     unsigned groupRanks_;
     bool twinMultiRank_;
-
-  private:
-    mutable std::vector<FaultEvent> groupEvents_;
 };
 
 // ---------------------------------------------------------------------
@@ -303,23 +306,24 @@ class ChipkillScheme : public SchemeBase
         // Which events reach the symbol code? Multi-bit faults always;
         // bit-class faults only when there is no on-die ECC, or when
         // they land in a scaling-faulted word.
-        visible_.clear();
+        std::vector<FaultEvent> visible;
+        visible.reserve(events.size());
         for (const auto &e : events) {
             if (multiBitPerWord(e.kind)) {
-                visible_.push_back(e);
+                visible.push_back(e);
             } else if (!onDie_.present) {
-                visible_.push_back(e);
+                visible.push_back(e);
             } else if (onDie_.scalingRate > 0 &&
                        rng.bernoulli(bitClassEscapeProb(
                            e.kind, layout, onDie_.scalingRate))) {
-                visible_.push_back(e);
+                visible.push_back(e);
             }
         }
         std::optional<SchemeFailure> best;
-        for (std::size_t i = 0; i < visible_.size(); ++i) {
-            for (std::size_t j = i + 1; j < visible_.size(); ++j) {
-                const auto &a = visible_[i];
-                const auto &b = visible_[j];
+        for (std::size_t i = 0; i < visible.size(); ++i) {
+            for (std::size_t j = i + 1; j < visible.size(); ++j) {
+                const auto &a = visible[i];
+                const auto &b = visible[j];
                 if (chipId(a) == chipId(b))
                     continue;
                 if (a.concurrentWith(b) &&
@@ -334,7 +338,6 @@ class ChipkillScheme : public SchemeBase
 
   private:
     std::string name_;
-    mutable std::vector<FaultEvent> visible_;
 };
 
 /** Three distinct chips sharing one word defeat a 2-chip corrector. */
@@ -392,22 +395,22 @@ class DoubleChipkillScheme : public SchemeBase
     evaluateGroup(const std::vector<FaultEvent> &events,
                   const AddressLayout &layout, Rng &rng) const override
     {
-        visible_.clear();
+        std::vector<FaultEvent> visible;
+        visible.reserve(events.size());
         for (const auto &e : events) {
             if (multiBitPerWord(e.kind) || !onDie_.present) {
-                visible_.push_back(e);
+                visible.push_back(e);
             } else if (onDie_.scalingRate > 0 &&
                        rng.bernoulli(bitClassEscapeProb(
                            e.kind, layout, onDie_.scalingRate))) {
-                visible_.push_back(e);
+                visible.push_back(e);
             }
         }
-        return tripleChipRule(visible_, layout);
+        return tripleChipRule(visible, layout);
     }
 
   private:
     std::string name_;
-    mutable std::vector<FaultEvent> visible_;
 };
 
 // ---------------------------------------------------------------------
@@ -435,18 +438,19 @@ class XedChipkillScheme : public SchemeBase
         // t=1 random-error budget; alone they are still corrected, but
         // together with any other faulty chip in the same word the
         // erasure budget is blown (2v + e > 2) -> DUE.
-        escaped_.clear();
-        visible_.clear();
+        std::vector<FaultEvent> escaped;
+        std::vector<FaultEvent> visible;
+        visible.reserve(events.size());
         for (const auto &e : events) {
             if (!multiBitPerWord(e.kind))
                 continue; // corrected on-die (catch-word handles it)
-            visible_.push_back(e);
+            visible.push_back(e);
             if (e.kind == FaultKind::Word && e.transient &&
                 rng.bernoulli(onDie_.detectionEscapeProb))
-                escaped_.push_back(e);
+                escaped.push_back(e);
         }
-        for (const auto &esc : escaped_) {
-            for (const auto &other : visible_) {
+        for (const auto &esc : escaped) {
+            for (const auto &other : visible) {
                 if (chipId(other) == chipId(esc))
                     continue;
                 if (esc.concurrentWith(other) &&
@@ -457,15 +461,13 @@ class XedChipkillScheme : public SchemeBase
                 }
             }
         }
-        if (const auto f = tripleChipRule(visible_, layout))
+        if (const auto f = tripleChipRule(visible, layout))
             keepEarliest(best, f->timeHours, f->type);
         return best;
     }
 
   private:
     std::string name_;
-    mutable std::vector<FaultEvent> escaped_;
-    mutable std::vector<FaultEvent> visible_;
 };
 
 } // namespace

@@ -31,6 +31,50 @@ TEST(RunningStat, MeanVarianceMinMax)
     EXPECT_DOUBLE_EQ(s.sum(), 40.0);
 }
 
+TEST(RunningStat, MergeOfSplitStreamsMatchesCombined)
+{
+    // Stream one sequence through a single accumulator, and the same
+    // sequence split across two accumulators merged afterwards (the
+    // parallel-shard reduction); the moments must agree to rounding.
+    RunningStat combined, left, right;
+    for (int i = 0; i < 1000; ++i) {
+        // Deterministic but irregular values spanning several decades.
+        const double x = std::sin(i * 0.7) * std::exp((i % 13) - 6.0);
+        combined.add(x);
+        (i < 400 ? left : right).add(x);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), combined.count());
+    EXPECT_DOUBLE_EQ(left.min(), combined.min());
+    EXPECT_DOUBLE_EQ(left.max(), combined.max());
+    EXPECT_NEAR(left.sum(), combined.sum(),
+                1e-12 * std::abs(combined.sum()));
+    EXPECT_NEAR(left.mean(), combined.mean(),
+                1e-12 * std::abs(combined.mean()));
+    EXPECT_NEAR(left.variance(), combined.variance(),
+                1e-9 * combined.variance());
+}
+
+TEST(RunningStat, MergeWithEmptySides)
+{
+    RunningStat filled, empty;
+    for (const double x : {1.0, 2.0, 6.0})
+        filled.add(x);
+    const double mean = filled.mean();
+    const double var = filled.variance();
+
+    RunningStat target;
+    target.merge(filled); // empty <- filled adopts everything
+    EXPECT_EQ(target.count(), 3u);
+    EXPECT_DOUBLE_EQ(target.mean(), mean);
+    EXPECT_DOUBLE_EQ(target.variance(), var);
+
+    filled.merge(empty); // filled <- empty is a no-op
+    EXPECT_EQ(filled.count(), 3u);
+    EXPECT_DOUBLE_EQ(filled.mean(), mean);
+    EXPECT_DOUBLE_EQ(filled.variance(), var);
+}
+
 TEST(Proportion, Basic)
 {
     Proportion p;
@@ -78,6 +122,31 @@ TEST(CounterSet, IncrementAndLookup)
     EXPECT_EQ(c.get("due"), 5u);
     EXPECT_EQ(c.get("sdc"), 1u);
     EXPECT_EQ(c.all().size(), 2u);
+}
+
+TEST(Proportion, MergeAddsCounts)
+{
+    Proportion a, b;
+    a.addMany(3, 100);
+    b.addMany(7, 400);
+    a.merge(b);
+    EXPECT_EQ(a.successes(), 10u);
+    EXPECT_EQ(a.trials(), 500u);
+    EXPECT_DOUBLE_EQ(a.value(), 0.02);
+}
+
+TEST(CounterSet, MergeAddsPerName)
+{
+    CounterSet a, b;
+    a.inc("due", 2);
+    a.inc("sdc");
+    b.inc("due", 3);
+    b.inc("triple-chip", 5);
+    a.merge(b);
+    EXPECT_EQ(a.get("due"), 5u);
+    EXPECT_EQ(a.get("sdc"), 1u);
+    EXPECT_EQ(a.get("triple-chip"), 5u);
+    EXPECT_EQ(a.all().size(), 3u);
 }
 
 TEST(Units, FitConversions)

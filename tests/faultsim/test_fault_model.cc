@@ -103,6 +103,52 @@ TEST_F(FaultModelTest, MultiRankEventsComeInPairs)
     EXPECT_TRUE(sawMultiRank);
 }
 
+TEST_F(FaultModelTest, ZeroRateKindsAreUnreachable)
+{
+    // Regression: a draw landing exactly on a cumulative boundary used
+    // to select the kind *before* the boundary, so kindDraw == 0 with
+    // a zero-rate first entry produced impossible Bit faults.
+    FitTable zeroBit;
+    zeroBit.entry(FaultKind::Bit) = {0.0, 0.0};
+    zeroBit.entry(FaultKind::Word) = {0.0, 0.0};
+
+    EXPECT_NE(pickFaultKind(zeroBit, 0.0), FaultKind::Bit);
+    EXPECT_NE(pickFaultKind(zeroBit, 0.0), FaultKind::Word);
+    EXPECT_EQ(pickFaultKind(zeroBit, 0.0), FaultKind::Column);
+
+    // Interior zero-rate bracket: the boundary draw skips it too.
+    FitTable zeroRow;
+    zeroRow.entry(FaultKind::Row) = {0.0, 0.0};
+    double boundary = 0;
+    for (auto kind : {FaultKind::Bit, FaultKind::Word, FaultKind::Column})
+        boundary += zeroRow.entry(kind).total();
+    EXPECT_EQ(pickFaultKind(zeroRow, boundary), FaultKind::Bank);
+
+    // And the sampled stream never materializes a zero-rate kind.
+    const DimmShape shape{2, 9};
+    for (int i = 0; i < 50000; ++i) {
+        for (const auto &e : sampleDimmFaults(rng, zeroBit, layout,
+                                              shape, evaluationHours)) {
+            EXPECT_NE(e.kind, FaultKind::Bit);
+            EXPECT_NE(e.kind, FaultKind::Word);
+        }
+    }
+}
+
+TEST_F(FaultModelTest, PickFaultKindMatchesBrackets)
+{
+    // Draws strictly inside each nonzero bracket map to that kind.
+    double low = 0;
+    for (unsigned k = 0; k < numFaultKinds; ++k) {
+        const auto kind = static_cast<FaultKind>(k);
+        const double width = fit.entry(kind).total();
+        ASSERT_GT(width, 0.0);
+        EXPECT_EQ(pickFaultKind(fit, low), kind);
+        EXPECT_EQ(pickFaultKind(fit, low + width / 2), kind);
+        low += width;
+    }
+}
+
 TEST_F(FaultModelTest, KindDistributionRoughlyMatchesRates)
 {
     const DimmShape shape{2, 9};
