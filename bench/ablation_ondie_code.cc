@@ -20,9 +20,7 @@ using namespace xed::faultsim;
 int
 main()
 {
-    McConfig cfg;
-    cfg.systems = bench::mcSystems();
-    cfg.seed = 0xAB1C;
+    McConfig cfg = bench::mcConfig(0xAB1C);
 
     struct Row
     {

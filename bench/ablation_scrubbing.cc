@@ -18,9 +18,7 @@ using namespace xed::faultsim;
 int
 main()
 {
-    McConfig cfg;
-    cfg.systems = bench::mcSystems();
-    cfg.seed = 0xAB1A;
+    McConfig cfg = bench::mcConfig(0xAB1A);
 
     struct Row
     {

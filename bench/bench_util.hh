@@ -24,6 +24,8 @@
 #include <string>
 #include <thread>
 
+#include "faultsim/engine.hh"
+
 namespace xed::bench
 {
 
@@ -57,6 +59,28 @@ mcThreads()
     const auto hw = std::thread::hardware_concurrency();
     return static_cast<unsigned>(
         envScale("XED_MC_THREADS", hw ? hw : 1));
+}
+
+/** Monte-Carlo seed: XED_MC_SEED, else the bench's pinned seed. */
+inline std::uint64_t
+mcSeed(std::uint64_t fallback)
+{
+    return envScale("XED_MC_SEED", fallback);
+}
+
+/**
+ * The standard reliability-bench configuration: systems and seed
+ * resolved from the environment with the bench's defaults. Threads
+ * stay 0 ("auto"), which the engine resolves to XED_MC_THREADS and
+ * then the hardware.
+ */
+inline faultsim::McConfig
+mcConfig(std::uint64_t defaultSeed, std::uint64_t systemsFallback = 1000000)
+{
+    faultsim::McConfig cfg;
+    cfg.systems = mcSystems(systemsFallback);
+    cfg.seed = mcSeed(defaultSeed);
+    return cfg;
 }
 
 } // namespace xed::bench

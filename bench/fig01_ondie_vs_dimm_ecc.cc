@@ -17,9 +17,7 @@ using namespace xed::faultsim;
 int
 main()
 {
-    McConfig cfg;
-    cfg.systems = bench::mcSystems();
-    cfg.seed = 0xF161;
+    McConfig cfg = bench::mcConfig(0xF161);
 
     const OnDieOptions onDie;          // on-die ECC present
     OnDieOptions noOnDie;

@@ -3,48 +3,61 @@
  * with On-Die ECC and no scaling faults. The paper's headline result:
  * XED is 172x more reliable than the ECC-DIMM and 4x more reliable
  * than Chipkill.
+ *
+ * This bench is a thin wrapper over the campaign runner: the whole
+ * experiment lives in specs/fig07.json, and the shard plan reproduces
+ * the original hand-coded loop bit for bit (same seed, same
+ * per-system RNG streams).
  */
 
 #include <iostream>
 
-#include "bench/bench_util.hh"
 #include "common/table.hh"
-#include "faultsim/engine.hh"
+#include "campaign/runner.hh"
 
 using namespace xed;
-using namespace xed::faultsim;
+using namespace xed::campaign;
 
 int
 main()
 {
-    McConfig cfg;
-    cfg.systems = bench::mcSystems();
-    cfg.seed = 0xF167;
+    std::string error;
+    auto spec = loadSpecFile(XED_SPEC_DIR "/fig07.json", &error);
+    if (!spec) {
+        std::cerr << "fig07: " << error << "\n";
+        return 1;
+    }
+    applyEnvOverrides(*spec);
 
-    const OnDieOptions onDie;
-    const SchemeKind kinds[] = {SchemeKind::Secded, SchemeKind::Xed,
-                                SchemeKind::Chipkill};
+    const auto outcome = runCampaign(*spec, RunOptions{});
+    if (!outcome.ok) {
+        std::cerr << "fig07: " << outcome.error << "\n";
+        return 1;
+    }
 
     Table table({"Scheme", "Y1", "Y2", "Y3", "Y4", "Y5", "Y6",
                  "Y7 P(fail)", "95% CI half-width"});
     double secded = 0, xed = 0, chipkill = 0;
-    for (const auto kind : kinds) {
-        const auto scheme = makeScheme(kind, onDie);
-        const auto result = runMonteCarlo(*scheme, cfg);
+    for (unsigned i = 0; i < outcome.cells.size(); ++i) {
+        const auto &cell = outcome.cells[i];
+        const auto &result = cell.result.mc;
+        const auto scheme =
+            faultsim::makeScheme(spec->schemes[i], spec->onDie);
         std::vector<std::string> row{scheme->name()};
         for (unsigned y = 1; y <= 7; ++y)
             row.push_back(Table::sci(result.failByYear[y].value(), 2));
         row.push_back(Table::sci(result.failByYear[7].halfWidth95(), 1));
         table.addRow(row);
-        switch (kind) {
-          case SchemeKind::Secded: secded = result.probFailure(); break;
-          case SchemeKind::Xed: xed = result.probFailure(); break;
-          default: chipkill = result.probFailure(); break;
-        }
+        if (cell.label == "secded")
+            secded = result.probFailure();
+        else if (cell.label == "xed")
+            xed = result.probFailure();
+        else
+            chipkill = result.probFailure();
     }
     table.print(std::cout,
                 "Figure 7: probability of system failure over 7 years "
-                "(" + std::to_string(cfg.systems) + " systems/scheme)");
+                "(" + std::to_string(spec->systems) + " systems/scheme)");
     std::cout << "\nXED vs ECC-DIMM:      "
               << Table::fmt(secded / xed, 0) << "x   (paper: 172x)\n"
               << "Chipkill vs ECC-DIMM: "

@@ -3,49 +3,60 @@
  * faults occur in the presence of scaling faults (rate 1e-4). XED
  * corrects scaling faults via serial-mode on-die correction, so its
  * advantage is preserved.
+ *
+ * Thin wrapper over the campaign runner: specs/fig08.json declares a
+ * one-point scalingRate sweep, and the runner reproduces the original
+ * hand-coded loop's numbers exactly.
  */
 
 #include <iostream>
 
-#include "bench/bench_util.hh"
+#include "campaign/runner.hh"
 #include "common/table.hh"
-#include "faultsim/engine.hh"
 
 using namespace xed;
-using namespace xed::faultsim;
+using namespace xed::campaign;
 
 int
 main()
 {
-    McConfig cfg;
-    cfg.systems = bench::mcSystems();
-    cfg.seed = 0xF168;
+    std::string error;
+    auto spec = loadSpecFile(XED_SPEC_DIR "/fig08.json", &error);
+    if (!spec) {
+        std::cerr << "fig08: " << error << "\n";
+        return 1;
+    }
+    applyEnvOverrides(*spec);
 
-    OnDieOptions scaling;
-    scaling.scalingRate = 1e-4;
+    const auto outcome = runCampaign(*spec, RunOptions{});
+    if (!outcome.ok) {
+        std::cerr << "fig08: " << outcome.error << "\n";
+        return 1;
+    }
 
-    const SchemeKind kinds[] = {SchemeKind::Secded, SchemeKind::Xed,
-                                SchemeKind::Chipkill};
     Table table({"Scheme (scaling 1e-4)", "Y1", "Y3", "Y5",
                  "Y7 P(fail)"});
     double secded = 0, xed = 0, chipkill = 0;
-    for (const auto kind : kinds) {
-        const auto scheme = makeScheme(kind, scaling);
-        const auto result = runMonteCarlo(*scheme, cfg);
+    for (unsigned i = 0; i < outcome.cells.size(); ++i) {
+        const auto &cell = outcome.cells[i];
+        const auto &result = cell.result.mc;
+        const auto scheme =
+            faultsim::makeScheme(spec->schemes[i], onDieFor(*spec, 0));
         table.addRow({scheme->name(),
                       Table::sci(result.failByYear[1].value(), 2),
                       Table::sci(result.failByYear[3].value(), 2),
                       Table::sci(result.failByYear[5].value(), 2),
                       Table::sci(result.failByYear[7].value(), 2)});
-        switch (kind) {
-          case SchemeKind::Secded: secded = result.probFailure(); break;
-          case SchemeKind::Xed: xed = result.probFailure(); break;
-          default: chipkill = result.probFailure(); break;
-        }
+        if (cell.label == "secded")
+            secded = result.probFailure();
+        else if (cell.label == "xed")
+            xed = result.probFailure();
+        else
+            chipkill = result.probFailure();
     }
     table.print(std::cout,
                 "Figure 8: P(system failure), runtime faults + scaling "
-                "faults at 1e-4 (" + std::to_string(cfg.systems) +
+                "faults at 1e-4 (" + std::to_string(spec->systems) +
                 " systems/scheme)");
     std::cout << "\nXED vs ECC-DIMM:      "
               << Table::fmt(secded / xed, 0) << "x   (paper: 172x)\n"

@@ -18,11 +18,9 @@ using namespace xed::faultsim;
 int
 main()
 {
-    McConfig cfg;
     // The strong schemes fail at the 1e-5..1e-6 scale; default to more
     // systems than the other reliability benches.
-    cfg.systems = bench::mcSystems(4000000);
-    cfg.seed = 0xF169;
+    McConfig cfg = bench::mcConfig(0xF169, 4000000);
 
     const OnDieOptions onDie;
     // The commodity-x8 lockstep family (see scheme.hh): groups are

@@ -15,9 +15,7 @@ using namespace xed::faultsim;
 int
 main()
 {
-    McConfig cfg;
-    cfg.systems = bench::mcSystems(4000000);
-    cfg.seed = 0xF170;
+    McConfig cfg = bench::mcConfig(0xF170, 4000000);
 
     OnDieOptions scaling;
     scaling.scalingRate = 1e-4;

@@ -42,9 +42,7 @@ main()
               << "  (paper: ~1e-12)\n";
 
     // Monte-Carlo cross-check of the dominant term.
-    faultsim::McConfig cfg;
-    cfg.systems = bench::mcSystems();
-    cfg.seed = 0x7AB4;
+    faultsim::McConfig cfg = bench::mcConfig(0x7AB4);
     const auto scheme = faultsim::makeScheme(faultsim::SchemeKind::Xed,
                                              {});
     const auto mc = faultsim::runMonteCarlo(*scheme, cfg);

@@ -1,0 +1,28 @@
+# ctest helper for the `campaign_smoke` job: run the tiny smoke spec
+# from scratch, then resume the completed store (must be a no-op), and
+# render the report. Invoked as
+#   cmake -DCLI=... -DSPEC=... -DOUT=... -P campaign_smoke.cmake
+
+file(REMOVE "${OUT}" "${OUT}.telemetry.jsonl")
+
+execute_process(
+    COMMAND "${CLI}" run "${SPEC}" --out "${OUT}" --quiet
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "campaign run failed (rc=${rc})")
+endif()
+
+execute_process(
+    COMMAND "${CLI}" resume "${SPEC}" --out "${OUT}" --quiet
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "campaign resume of a complete store failed "
+                        "(rc=${rc})")
+endif()
+
+execute_process(
+    COMMAND "${CLI}" report "${OUT}"
+    RESULT_VARIABLE rc OUTPUT_VARIABLE report)
+if(NOT rc EQUAL 0 OR NOT report MATCHES "xed")
+    message(FATAL_ERROR "campaign report failed (rc=${rc}):\n${report}")
+endif()

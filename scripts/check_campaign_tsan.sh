@@ -1,0 +1,22 @@
+#!/bin/sh
+# Build the tree with ThreadSanitizer and run the campaign suite plus
+# the CLI smoke spec. The runner's worker pool, progress thread and
+# metrics registry are the only cross-thread code in the repo, so
+#   ctest -L campaign
+# under TSan covers every lock and atomic the campaign added.
+#
+# Usage: scripts/check_campaign_tsan.sh [build-dir]   (default: build-tsan)
+set -eu
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build=${1:-"$repo/build-tsan"}
+jobs=$(nproc 2>/dev/null || echo 2)
+
+cmake -S "$repo" -B "$build" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DXED_SANITIZE=thread
+cmake --build "$build" -j "$jobs" \
+    --target test_campaign xed_campaign_cli
+
+(cd "$build" && ctest -L campaign --output-on-failure -j "$jobs")
+
+echo "campaign TSan check passed"

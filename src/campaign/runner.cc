@@ -1,0 +1,501 @@
+#include "campaign/runner.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <thread>
+
+#include "campaign/telemetry.hh"
+#include "common/table.hh"
+#include "ecc/crc8atm.hh"
+#include "ecc/error_patterns.hh"
+#include "ecc/hamming7264.hh"
+
+namespace xed::campaign
+{
+
+namespace
+{
+
+unsigned
+resolveThreads(const CampaignSpec &spec, const RunOptions &options,
+               std::uint64_t pendingTasks)
+{
+    unsigned threads = options.threads ? options.threads : spec.threads;
+    if (threads == 0) {
+        if (const char *env = std::getenv("XED_MC_THREADS"))
+            threads =
+                static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+        if (threads == 0)
+            threads = std::thread::hardware_concurrency();
+        if (threads == 0)
+            threads = 1;
+    }
+    return static_cast<unsigned>(std::min<std::uint64_t>(
+        threads, std::max<std::uint64_t>(pendingTasks, 1)));
+}
+
+std::unique_ptr<ecc::Secded7264>
+makeCode(const std::string &name)
+{
+    if (name == "crc8atm")
+        return std::make_unique<ecc::Crc8Atm>();
+    return std::make_unique<ecc::Hamming7264>();
+}
+
+/**
+ * Detection shard: trials [task.begin, task.end) of one
+ * (code, pattern, weight) cell. Each shard draws from its own
+ * counter-based stream keyed by (cell, shard ordinal), so results are
+ * independent of thread count and resumable at shard granularity.
+ */
+ShardResult
+runDetectionShard(const CampaignSpec &spec, const ShardTask &task,
+                  faultsim::McProgress *progress)
+{
+    const DetectionCell cell = detectionCell(spec, task.cell);
+    const auto code = makeCode(cell.code);
+    const ecc::Word72 clean = code->encode(0x0123456789ABCDEFull);
+    const std::uint64_t shardOrdinal = task.begin / spec.shardTrials;
+    Rng rng = Rng::stream(spec.seed,
+                          (static_cast<std::uint64_t>(task.cell) << 40) +
+                              shardOrdinal);
+    ShardResult out;
+    out.trials = task.end - task.begin;
+    for (std::uint64_t t = task.begin; t < task.end; ++t) {
+        const ecc::Word72 error =
+            cell.burst ? ecc::solidBurstPattern(rng, cell.weight)
+                       : ecc::randomPattern(rng, cell.weight);
+        if (!code->isValidCodeword(clean ^ error))
+            ++out.detected;
+    }
+    if (progress) {
+        progress->systemsDone.fetch_add(out.trials,
+                                        std::memory_order_relaxed);
+        progress->failedSystems.fetch_add(out.trials - out.detected,
+                                          std::memory_order_relaxed);
+    }
+    return out;
+}
+
+ShardResult
+runReliabilityShard(const CampaignSpec &spec, const ShardTask &task,
+                    faultsim::McProgress *progress)
+{
+    faultsim::McConfig cfg = mcConfigFor(spec, task.point);
+    cfg.progress = progress;
+    const auto scheme =
+        makeScheme(spec.schemes[task.cell], onDieFor(spec, task.point));
+    ShardResult out;
+    out.mc = runMonteCarloShard(*scheme, cfg, task.begin, task.end);
+    return out;
+}
+
+std::uint64_t
+failedSystemsOf(const CampaignSpec &spec, const ShardResult &result)
+{
+    if (spec.kind == CampaignKind::Detection)
+        return result.trials - result.detected; // escapes, not failures
+    std::uint64_t failed = 0;
+    for (const auto &[name, count] : result.mc.failureTypes.all())
+        failed += count;
+    return failed;
+}
+
+json::Value
+sweepValueJson(const CampaignSpec &spec, unsigned point)
+{
+    return spec.sweep.active() ? json::Value(spec.sweep.values[point])
+                               : json::Value(nullptr);
+}
+
+} // namespace
+
+json::Value
+summaryRecord(const CampaignSpec &spec,
+              const std::vector<CellSummary> &cells)
+{
+    auto record = json::Value::object();
+    record.set("type", "summary");
+    auto results = json::Value::array();
+    std::uint64_t units = 0;
+    auto failures = json::Value::object();
+    for (const auto &cell : cells) {
+        auto entry = json::Value::object();
+        entry.set("point", cell.point);
+        if (spec.sweep.active()) {
+            entry.set("parameter", spec.sweep.parameter);
+            entry.set("value", sweepValueJson(spec, cell.point));
+        }
+        entry.set("cell", cell.cell);
+        entry.set("label", cell.label);
+        if (spec.kind == CampaignKind::Reliability) {
+            const auto &mc = cell.result.mc;
+            auto years = json::Value::array();
+            for (unsigned y = 1; y <= 7; ++y) {
+                auto pair = json::Value::array();
+                pair.push(mc.failByYear[y].successes());
+                pair.push(mc.failByYear[y].trials());
+                years.push(std::move(pair));
+            }
+            entry.set("failByYear", std::move(years));
+            entry.set("probFailure", mc.probFailure());
+            entry.set("halfWidth95", mc.failByYear[7].halfWidth95());
+            auto types = json::Value::object();
+            for (const auto &[name, count] : mc.failureTypes.all())
+                types.set(name, count);
+            entry.set("failureTypes", std::move(types));
+            units += mc.failByYear[7].trials();
+        } else {
+            entry.set("detected", cell.result.detected);
+            entry.set("trials", cell.result.trials);
+            entry.set("detectionRate",
+                      cell.result.trials
+                          ? static_cast<double>(cell.result.detected) /
+                                static_cast<double>(cell.result.trials)
+                          : 0.0);
+            units += cell.result.trials;
+        }
+        const std::uint64_t failed = failedSystemsOf(spec, cell.result);
+        if (const json::Value *existing = failures.find(cell.label))
+            failures.set(cell.label, existing->asUint() + failed);
+        else
+            failures.set(cell.label, failed);
+        results.push(std::move(entry));
+    }
+    record.set("results", std::move(results));
+    auto metrics = json::Value::object();
+    metrics.set("unitsSimulated", units);
+    metrics.set("failures", std::move(failures));
+    record.set("metrics", std::move(metrics));
+    return record;
+}
+
+RunOutcome
+runCampaign(const CampaignSpec &spec, const RunOptions &options)
+{
+    RunOutcome outcome;
+    const Plan plan = buildPlan(spec);
+    const std::string hash = specHash(spec);
+
+    outcome.cells.resize(
+        static_cast<std::size_t>(plan.points) * plan.cells);
+    for (unsigned point = 0; point < plan.points; ++point) {
+        for (unsigned cell = 0; cell < plan.cells; ++cell) {
+            auto &summary = outcome.cells[point * plan.cells + cell];
+            summary.point = point;
+            summary.cell = cell;
+            summary.label = cellLabel(spec, cell);
+        }
+    }
+
+    // -- Store setup: replay a resumable prefix, or start fresh. -----
+    const bool useStore = !options.outPath.empty();
+    StoreWriter writer;
+    std::uint64_t firstPending = 0;
+    std::uint64_t replayedUnits = 0;
+    if (useStore) {
+        const bool exists = std::filesystem::exists(options.outPath);
+        if (exists && !options.resume) {
+            outcome.error = options.outPath +
+                            " already exists; use resume (or remove it) "
+                            "so completed shards are not re-simulated";
+            return outcome;
+        }
+        if (exists) {
+            const LoadedStore loaded =
+                loadStore(options.outPath, hash, spec, plan);
+            if (!loaded.ok) {
+                outcome.error = loaded.error;
+                return outcome;
+            }
+            firstPending = loaded.completedShards;
+            for (std::uint64_t i = 0; i < firstPending; ++i) {
+                const ShardTask &task = plan.tasks[i];
+                outcome.cells[task.point * plan.cells + task.cell]
+                    .result.merge(loaded.shardResults[i]);
+                replayedUnits += task.end - task.begin;
+            }
+            outcome.shardsReplayed = firstPending;
+            if (loaded.hasSummary) {
+                // Nothing to do: resuming a finished run is a no-op.
+                outcome.ok = true;
+                outcome.complete = true;
+                return outcome;
+            }
+            if (!writer.open(options.outPath, loaded.validBytes,
+                             &outcome.error))
+                return outcome;
+        } else {
+            if (!writer.open(options.outPath, -1, &outcome.error))
+                return outcome;
+            if (!writer.write(manifestRecord(spec, plan, hash),
+                              &outcome.error))
+                return outcome;
+        }
+    }
+
+    // maxShards counts shard *records* (replayed included), so "run 2,
+    // kill, resume to 5" composes the way an interrupt does.
+    const std::uint64_t limit =
+        options.maxShards == 0
+            ? plan.tasks.size()
+            : std::min<std::uint64_t>(
+                  plan.tasks.size(),
+                  std::max(options.maxShards, firstPending));
+
+    // -- Telemetry. ---------------------------------------------------
+    MetricsRegistry registry;
+    faultsim::McProgress progress;
+    const std::uint64_t totalUnits =
+        static_cast<std::uint64_t>(plan.points) * plan.cells *
+        spec.unitsPerCell();
+    registry.counter("shards.total").add(plan.tasks.size());
+    registry.counter("shards.done").add(firstPending);
+    registry.counter("units.total").add(totalUnits);
+    registry.counter("units.replayed").add(replayedUnits);
+    progress.systemsDone.fetch_add(replayedUnits);
+    for (unsigned cell = 0; cell < plan.cells; ++cell)
+        registry.counter("failed." + cellLabel(spec, cell)).add(0);
+    for (const auto &cell : outcome.cells) {
+        registry.counter("failed." + cell.label)
+            .add(failedSystemsOf(spec, cell.result));
+        progress.failedSystems.fetch_add(
+            failedSystemsOf(spec, cell.result));
+    }
+
+    const unsigned threads =
+        resolveThreads(spec, options, limit - firstPending);
+    ProgressReporter::Setup telemetry;
+    telemetry.intervalSeconds = options.progressIntervalSeconds;
+    telemetry.statusOut = options.progressOut;
+    if (useStore && options.telemetrySidecar)
+        telemetry.sidecarPath = options.outPath + ".telemetry.jsonl";
+    ProgressReporter reporter(telemetry, registry, progress);
+    reporter.start(runMetadata(spec.name, hash, threads, firstPending));
+
+    // -- Execute pending shards; write strictly in plan order. --------
+    std::atomic<std::uint64_t> next{firstPending};
+    std::atomic<bool> abort{false};
+    std::mutex mutex;
+    std::condition_variable readyCv;
+    std::map<std::uint64_t, ShardResult> ready;
+
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+        workers.emplace_back([&] {
+            while (!abort.load(std::memory_order_relaxed)) {
+                const std::uint64_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= limit)
+                    break;
+                ShardResult result =
+                    spec.kind == CampaignKind::Reliability
+                        ? runReliabilityShard(spec, plan.tasks[i],
+                                              &progress)
+                        : runDetectionShard(spec, plan.tasks[i],
+                                            &progress);
+                {
+                    std::lock_guard<std::mutex> lock(mutex);
+                    ready.emplace(i, std::move(result));
+                }
+                readyCv.notify_one();
+            }
+        });
+    }
+
+    bool writeFailed = false;
+    for (std::uint64_t i = firstPending; i < limit && !writeFailed;
+         ++i) {
+        ShardResult result;
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            readyCv.wait(lock,
+                         [&] { return ready.count(i) != 0; });
+            result = std::move(ready.at(i));
+            ready.erase(i);
+        }
+        const ShardTask &task = plan.tasks[i];
+        if (useStore &&
+            !writer.write(shardRecord(spec, task, result),
+                          &outcome.error)) {
+            writeFailed = true;
+            abort.store(true);
+            // Unblock any worker parked on a full queue (none today,
+            // but keep the invariant that abort implies wake-up).
+            readyCv.notify_all();
+            break;
+        }
+        outcome.cells[task.point * plan.cells + task.cell].result.merge(
+            result);
+        registry.counter("shards.done").add(1);
+        registry
+            .counter("failed." + cellLabel(spec, task.cell))
+            .add(failedSystemsOf(spec, result));
+        ++outcome.shardsRun;
+    }
+    for (auto &worker : workers)
+        worker.join();
+    if (writeFailed) {
+        reporter.finish(false);
+        return outcome;
+    }
+
+    outcome.complete = limit == plan.tasks.size();
+    if (outcome.complete && useStore &&
+        !writer.write(summaryRecord(spec, outcome.cells),
+                      &outcome.error)) {
+        reporter.finish(false);
+        return outcome;
+    }
+    reporter.finish(outcome.complete);
+    outcome.ok = true;
+    return outcome;
+}
+
+void
+printPlan(const CampaignSpec &spec, std::ostream &os)
+{
+    const Plan plan = buildPlan(spec);
+    os << "spec:     " << spec.name << " ("
+       << (spec.kind == CampaignKind::Reliability ? "reliability"
+                                                  : "detection")
+       << ")\nspecHash: " << specHash(spec) << "\nresolved: "
+       << json::dump(specToJson(spec)) << "\n\n";
+
+    Table table({"Point", spec.sweep.active() ? spec.sweep.parameter
+                                              : "-",
+                 "Cell", "Label", "Units", "Shards", "Shard size"});
+    for (unsigned point = 0; point < plan.points; ++point) {
+        for (unsigned cell = 0; cell < plan.cells; ++cell) {
+            table.addRow(
+                {std::to_string(point),
+                 spec.sweep.active()
+                     ? json::formatDouble(spec.sweep.values[point])
+                     : "-",
+                 std::to_string(cell), cellLabel(spec, cell),
+                 std::to_string(spec.unitsPerCell()),
+                 std::to_string(plan.shardsPerCell),
+                 std::to_string(spec.unitsPerShard())});
+        }
+    }
+    table.print(os, "Shard plan (dry run): " +
+                        std::to_string(plan.tasks.size()) +
+                        " shards total");
+    os << "\ntotal shards: " << plan.tasks.size()
+       << "\ntotal units:  "
+       << static_cast<std::uint64_t>(plan.points) * plan.cells *
+              spec.unitsPerCell()
+       << "\n";
+}
+
+bool
+printReport(const std::string &storePath, std::ostream &os,
+            std::string *error)
+{
+    std::ifstream in(storePath, std::ios::binary);
+    if (!in) {
+        if (error)
+            *error = "cannot open " + storePath;
+        return false;
+    }
+    std::string firstLine;
+    std::getline(in, firstLine);
+    in.close();
+    std::string parseError;
+    const auto manifest = json::parse(firstLine, &parseError);
+    if (!manifest || !manifest->isObject() || !manifest->find("spec")) {
+        if (error)
+            *error = storePath + ": missing manifest record";
+        return false;
+    }
+    auto spec = parseSpec(*manifest->find("spec"), &parseError);
+    if (!spec) {
+        if (error)
+            *error = storePath + ": manifest spec invalid: " + parseError;
+        return false;
+    }
+    const Plan plan = buildPlan(*spec);
+    const LoadedStore loaded =
+        loadStore(storePath, specHash(*spec), *spec, plan);
+    if (!loaded.ok) {
+        if (error)
+            *error = loaded.error;
+        return false;
+    }
+
+    std::vector<CellSummary> cells(
+        static_cast<std::size_t>(plan.points) * plan.cells);
+    for (std::uint64_t i = 0; i < loaded.completedShards; ++i) {
+        const ShardTask &task = plan.tasks[i];
+        cells[task.point * plan.cells + task.cell].result.merge(
+            loaded.shardResults[i]);
+    }
+
+    os << "campaign: " << spec->name << "   shards: "
+       << loaded.completedShards << "/" << plan.tasks.size()
+       << (loaded.hasSummary ? " (complete)" : " (partial)") << "\n\n";
+
+    for (unsigned point = 0; point < plan.points; ++point) {
+        std::string title = spec->name;
+        if (spec->sweep.active())
+            title += ": " + spec->sweep.parameter + " = " +
+                     json::formatDouble(spec->sweep.values[point]);
+        if (spec->kind == CampaignKind::Reliability) {
+            Table table({"Scheme", "Y1", "Y2", "Y3", "Y4", "Y5", "Y6",
+                         "Y7 P(fail)", "95% CI half-width"});
+            for (unsigned cell = 0; cell < plan.cells; ++cell) {
+                const auto &mc =
+                    cells[point * plan.cells + cell].result.mc;
+                std::vector<std::string> row{cellLabel(*spec, cell)};
+                for (unsigned y = 1; y <= 7; ++y)
+                    row.push_back(
+                        Table::sci(mc.failByYear[y].value(), 2));
+                row.push_back(
+                    Table::sci(mc.failByYear[7].halfWidth95(), 1));
+                table.addRow(row);
+            }
+            table.print(os, title);
+        } else {
+            std::vector<std::string> headers{"Errors"};
+            const unsigned pairs = static_cast<unsigned>(
+                spec->codes.size() * spec->patterns.size());
+            for (unsigned pair = 0; pair < pairs; ++pair) {
+                const unsigned cell = pair * spec->maxWeight;
+                const DetectionCell d = detectionCell(*spec, cell);
+                headers.push_back(d.code +
+                                  (d.burst ? " burst" : " random"));
+            }
+            Table table(headers);
+            for (unsigned weight = 1; weight <= spec->maxWeight;
+                 ++weight) {
+                std::vector<std::string> row{std::to_string(weight)};
+                for (unsigned pair = 0; pair < pairs; ++pair) {
+                    const unsigned cell =
+                        pair * spec->maxWeight + (weight - 1);
+                    const auto &r =
+                        cells[point * plan.cells + cell].result;
+                    row.push_back(
+                        r.trials
+                            ? Table::pct(static_cast<double>(
+                                             r.detected) /
+                                         static_cast<double>(r.trials))
+                            : "-");
+                }
+                table.addRow(row);
+            }
+            table.print(os, title);
+        }
+        os << "\n";
+    }
+    return true;
+}
+
+} // namespace xed::campaign

@@ -1,0 +1,286 @@
+#include "campaign/store.hh"
+
+#include <filesystem>
+#include <sstream>
+
+namespace xed::campaign
+{
+
+namespace
+{
+
+json::Value
+mcResultToJson(const faultsim::McResult &mc)
+{
+    auto result = json::Value::object();
+    auto years = json::Value::array();
+    for (unsigned y = 1; y <= 7; ++y) {
+        auto pair = json::Value::array();
+        pair.push(mc.failByYear[y].successes());
+        pair.push(mc.failByYear[y].trials());
+        years.push(std::move(pair));
+    }
+    result.set("failByYear", std::move(years));
+    auto types = json::Value::object();
+    for (const auto &[name, count] : mc.failureTypes.all())
+        types.set(name, count);
+    result.set("failureTypes", std::move(types));
+    return result;
+}
+
+bool
+mcResultFromJson(const json::Value &result, faultsim::McResult &mc)
+{
+    const json::Value *years = result.find("failByYear");
+    if (!years || !years->isArray() || years->size() != 7)
+        return false;
+    for (unsigned y = 1; y <= 7; ++y) {
+        const json::Value &pair = years->at(y - 1);
+        if (!pair.isArray() || pair.size() != 2 ||
+            !pair.at(0).isIntegral() || !pair.at(1).isIntegral())
+            return false;
+        mc.failByYear[y].addMany(pair.at(0).asUint(),
+                                 pair.at(1).asUint());
+    }
+    const json::Value *types = result.find("failureTypes");
+    if (!types || !types->isObject())
+        return false;
+    for (const auto &[name, count] : types->members()) {
+        if (!count.isIntegral())
+            return false;
+        mc.failureTypes.inc(name, count.asUint());
+    }
+    return true;
+}
+
+} // namespace
+
+json::Value
+manifestRecord(const CampaignSpec &spec, const Plan &plan,
+               const std::string &hash)
+{
+    auto record = json::Value::object();
+    record.set("type", "manifest");
+    record.set("format", storeFormatVersion);
+    record.set("specHash", hash);
+    record.set("spec", specToJson(spec));
+    record.set("points", plan.points);
+    record.set("cells", plan.cells);
+    record.set("shards", std::uint64_t{plan.tasks.size()});
+    return record;
+}
+
+json::Value
+shardRecord(const CampaignSpec &spec, const ShardTask &task,
+            const ShardResult &result)
+{
+    auto record = json::Value::object();
+    record.set("type", "shard");
+    record.set("index", task.index);
+    record.set("point", task.point);
+    record.set("cell", task.cell);
+    record.set("label", cellLabel(spec, task.cell));
+    record.set("begin", task.begin);
+    record.set("end", task.end);
+    if (spec.kind == CampaignKind::Reliability) {
+        record.set("result", mcResultToJson(result.mc));
+    } else {
+        auto payload = json::Value::object();
+        payload.set("detected", result.detected);
+        payload.set("trials", result.trials);
+        record.set("result", std::move(payload));
+    }
+    return record;
+}
+
+ShardResult
+shardResultFromJson(const CampaignSpec &spec, const json::Value &record)
+{
+    ShardResult out;
+    const json::Value *result = record.find("result");
+    if (!result || !result->isObject())
+        return out;
+    if (spec.kind == CampaignKind::Reliability) {
+        faultsim::McResult mc;
+        if (mcResultFromJson(*result, mc))
+            out.mc = mc;
+    } else {
+        const json::Value *detected = result->find("detected");
+        const json::Value *trials = result->find("trials");
+        if (detected && detected->isIntegral() && trials &&
+            trials->isIntegral()) {
+            out.detected = detected->asUint();
+            out.trials = trials->asUint();
+        }
+    }
+    return out;
+}
+
+bool
+StoreWriter::open(const std::string &path, long long appendAt,
+                  std::string *error)
+{
+    path_ = path;
+    if (appendAt >= 0) {
+        std::error_code ec;
+        std::filesystem::resize_file(path, appendAt, ec);
+        if (ec) {
+            if (error)
+                *error = "cannot truncate " + path + ": " + ec.message();
+            return false;
+        }
+        out_.open(path, std::ios::binary | std::ios::app);
+    } else {
+        out_.open(path, std::ios::binary | std::ios::trunc);
+    }
+    if (!out_) {
+        if (error)
+            *error = "cannot open result file " + path;
+        return false;
+    }
+    return true;
+}
+
+bool
+StoreWriter::write(const json::Value &record, std::string *error)
+{
+    out_ << json::dump(record) << '\n';
+    out_.flush();
+    if (!out_) {
+        if (error)
+            *error = "write failed on " + path_;
+        return false;
+    }
+    return true;
+}
+
+LoadedStore
+loadStore(const std::string &path, const std::string &expectedHash,
+          const CampaignSpec &spec, const Plan &plan)
+{
+    LoadedStore loaded;
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        loaded.error = "cannot open " + path;
+        return loaded;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+
+    loaded.shardResults.resize(plan.tasks.size());
+    bool sawManifest = false;
+    std::size_t lineStart = 0;
+    while (lineStart < text.size()) {
+        const std::size_t newline = text.find('\n', lineStart);
+        if (newline == std::string::npos) {
+            // Torn final line (killed mid-write): resume from here.
+            break;
+        }
+        const std::string_view line(text.data() + lineStart,
+                                    newline - lineStart);
+        std::string parseError;
+        const auto record = json::parse(line, &parseError);
+        if (!record || !record->isObject()) {
+            if (!sawManifest) {
+                loaded.error = path + ": first line is not a valid "
+                               "manifest record";
+                return loaded;
+            }
+            // A malformed *interior* line means the file was edited or
+            // corrupted, not torn by a kill; refuse to guess.
+            loaded.error = path + ": corrupt record at byte " +
+                           std::to_string(lineStart) + ": " + parseError;
+            return loaded;
+        }
+        const json::Value *type = record->find("type");
+        const std::string typeName =
+            type && type->isString() ? type->asString() : "";
+        if (!sawManifest) {
+            if (typeName != "manifest") {
+                loaded.error = path + ": first record must be a manifest";
+                return loaded;
+            }
+            const json::Value *format = record->find("format");
+            if (!format || !format->isIntegral() ||
+                format->asInt() != storeFormatVersion) {
+                loaded.error = path + ": unsupported store format";
+                return loaded;
+            }
+            const json::Value *hash = record->find("specHash");
+            if (!hash || !hash->isString() ||
+                hash->asString() != expectedHash) {
+                loaded.error =
+                    path + ": spec hash mismatch (file " +
+                    (hash && hash->isString() ? hash->asString() : "?") +
+                    ", spec " + expectedHash +
+                    "); refusing to resume a different campaign";
+                return loaded;
+            }
+            const json::Value *shards = record->find("shards");
+            if (!shards || !shards->isIntegral() ||
+                shards->asUint() != plan.tasks.size()) {
+                loaded.error = path + ": manifest shard count does not "
+                               "match the spec's plan";
+                return loaded;
+            }
+            sawManifest = true;
+        } else if (typeName == "shard") {
+            const json::Value *index = record->find("index");
+            if (!index || !index->isIntegral() ||
+                index->asUint() != loaded.completedShards) {
+                loaded.error = path + ": shard records out of order at "
+                               "byte " + std::to_string(lineStart);
+                return loaded;
+            }
+            if (loaded.completedShards >= plan.tasks.size()) {
+                loaded.error = path + ": more shard records than the "
+                               "plan has shards";
+                return loaded;
+            }
+            const ShardTask &task = plan.tasks[loaded.completedShards];
+            const json::Value *point = record->find("point");
+            const json::Value *cell = record->find("cell");
+            const json::Value *begin = record->find("begin");
+            const json::Value *end = record->find("end");
+            const bool matches =
+                point && point->isIntegral() &&
+                point->asUint() == task.point && cell &&
+                cell->isIntegral() && cell->asUint() == task.cell &&
+                begin && begin->isIntegral() &&
+                begin->asUint() == task.begin && end &&
+                end->isIntegral() && end->asUint() == task.end;
+            if (!matches) {
+                loaded.error = path + ": shard record " +
+                               std::to_string(task.index) +
+                               " does not match the spec's plan";
+                return loaded;
+            }
+            loaded.shardResults[loaded.completedShards] =
+                shardResultFromJson(spec, *record);
+            ++loaded.completedShards;
+        } else if (typeName == "summary") {
+            loaded.hasSummary = true;
+        } else {
+            loaded.error = path + ": unknown record type \"" + typeName +
+                           "\" at byte " + std::to_string(lineStart);
+            return loaded;
+        }
+        lineStart = newline + 1;
+        loaded.validBytes = static_cast<long long>(lineStart);
+        if (loaded.hasSummary)
+            break;
+    }
+    if (!sawManifest) {
+        loaded.error = path + ": no complete manifest record";
+        return loaded;
+    }
+    if (loaded.hasSummary && loaded.completedShards != plan.tasks.size()) {
+        loaded.error = path + ": summary present but shards missing";
+        return loaded;
+    }
+    loaded.ok = true;
+    return loaded;
+}
+
+} // namespace xed::campaign

@@ -1,0 +1,195 @@
+#include "campaign/telemetry.hh"
+
+#include <cstdio>
+#include <ctime>
+
+#include <unistd.h>
+
+namespace xed::campaign
+{
+
+namespace
+{
+
+std::string
+hostName()
+{
+    char buf[256] = {};
+    if (gethostname(buf, sizeof buf - 1) == 0 && buf[0])
+        return buf;
+    return "unknown";
+}
+
+std::string
+gitDescribe()
+{
+    // Best effort: the binary may run outside the repository.
+    FILE *pipe =
+        popen("git describe --always --dirty 2>/dev/null", "r");
+    if (!pipe)
+        return "unknown";
+    char buf[128] = {};
+    std::string out;
+    if (std::fgets(buf, sizeof buf, pipe))
+        out = buf;
+    pclose(pipe);
+    while (!out.empty() && (out.back() == '\n' || out.back() == '\r'))
+        out.pop_back();
+    return out.empty() ? "unknown" : out;
+}
+
+std::string
+utcNow()
+{
+    const std::time_t now = std::time(nullptr);
+    std::tm tm{};
+    gmtime_r(&now, &tm);
+    char buf[32];
+    std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+    return buf;
+}
+
+} // namespace
+
+json::Value
+runMetadata(const std::string &specName, const std::string &hash,
+            unsigned threads, std::uint64_t resumedFromShard)
+{
+    auto record = json::Value::object();
+    record.set("type", "run");
+    record.set("name", specName);
+    record.set("specHash", hash);
+    record.set("host", hostName());
+    record.set("git", gitDescribe());
+    record.set("startedAt", utcNow());
+    record.set("threads", threads);
+    record.set("resumedFromShard", resumedFromShard);
+    return record;
+}
+
+ProgressReporter::ProgressReporter(const Setup &setup,
+                                   MetricsRegistry &registry,
+                                   const faultsim::McProgress &progress)
+    : setup_(setup), registry_(registry), progress_(progress),
+      started_(std::chrono::steady_clock::now())
+{
+}
+
+ProgressReporter::~ProgressReporter()
+{
+    finish(false);
+}
+
+void
+ProgressReporter::start(const json::Value &runRecord)
+{
+    if (!setup_.sidecarPath.empty()) {
+        sidecar_.open(setup_.sidecarPath,
+                      std::ios::binary | std::ios::app);
+    }
+    emit(runRecord);
+    if (setup_.intervalSeconds > 0 &&
+        (setup_.statusOut || sidecar_.is_open()))
+        thread_ = std::thread([this] { loop(); });
+}
+
+void
+ProgressReporter::finish(bool complete)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (finished_)
+            return;
+        finished_ = true;
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable())
+        thread_.join();
+
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started_)
+            .count();
+    auto done = sample();
+    done.set("type", "done");
+    done.set("complete", complete);
+    done.set("wallSeconds", elapsed);
+    done.set("finishedAt", utcNow());
+    emit(done);
+}
+
+json::Value
+ProgressReporter::sample() const
+{
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started_)
+            .count();
+    const auto counters = registry_.counters();
+    const auto get = [&counters](const char *name) -> std::uint64_t {
+        const auto it = counters.find(name);
+        return it == counters.end() ? 0 : it->second;
+    };
+    const std::uint64_t unitsDone = progress_.systemsDone.load();
+    const std::uint64_t unitsTotal = get("units.total");
+    // Rate over live-simulated units only: replayed shards were read
+    // from disk, counting them would fake an absurd ETA after resume.
+    const std::uint64_t unitsReplayed = get("units.replayed");
+    const std::uint64_t unitsLive =
+        unitsDone > unitsReplayed ? unitsDone - unitsReplayed : 0;
+    const double rate = elapsed > 0 ? unitsLive / elapsed : 0;
+    const std::uint64_t remaining =
+        unitsTotal > unitsDone ? unitsTotal - unitsDone : 0;
+
+    auto record = json::Value::object();
+    record.set("type", "progress");
+    record.set("elapsedSeconds", elapsed);
+    record.set("shardsDone", get("shards.done"));
+    record.set("shardsTotal", get("shards.total"));
+    record.set("unitsDone", unitsDone);
+    record.set("unitsTotal", unitsTotal);
+    record.set("unitsPerSec", rate);
+    record.set("etaSeconds", rate > 0 ? remaining / rate : 0.0);
+    record.set("failedSystems", progress_.failedSystems.load());
+    auto failures = json::Value::object();
+    for (const auto &[name, count] : counters) {
+        constexpr const char prefix[] = "failed.";
+        if (name.rfind(prefix, 0) == 0)
+            failures.set(name.substr(sizeof prefix - 1), count);
+    }
+    record.set("failures", std::move(failures));
+    return record;
+}
+
+void
+ProgressReporter::loop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stopping_) {
+        const auto interval = std::chrono::duration<double>(
+            setup_.intervalSeconds);
+        if (cv_.wait_for(lock, interval, [this] { return stopping_; }))
+            break;
+        lock.unlock();
+        emit(sample());
+        lock.lock();
+    }
+}
+
+void
+ProgressReporter::emit(const json::Value &record)
+{
+    const std::string line = json::dump(record);
+    std::lock_guard<std::mutex> lock(emitMutex_);
+    if (setup_.statusOut) {
+        *setup_.statusOut << line << '\n';
+        setup_.statusOut->flush();
+    }
+    if (sidecar_.is_open()) {
+        sidecar_ << line << '\n';
+        sidecar_.flush();
+    }
+}
+
+} // namespace xed::campaign

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * The xed_campaign CLI: run declarative experiment specs through the
+ * campaign runner.
+ *
+ *   xed_campaign run    <spec.json> [options]   execute a campaign
+ *   xed_campaign resume <spec.json> [options]   continue a killed run
+ *   xed_campaign report <result.jsonl>          render result tables
+ *
+ * Options for run/resume:
+ *   --out <file>            result JSONL (default: <name>.jsonl)
+ *   --dry-run               validate + print the shard plan, no sim
+ *   --threads <n>           worker threads (default: spec/env/hw)
+ *   --max-shards <n>        stop after n shard records (interrupt sim)
+ *   --progress-interval <s> status-line period in seconds (default 1)
+ *   --quiet                 no live status lines (sidecar still kept)
+ *
+ * Environment: XED_MC_SYSTEMS / XED_TRIALS / XED_MC_SEED override the
+ * spec (reflected in the spec hash), XED_MC_THREADS the worker count.
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "campaign/runner.hh"
+#include "campaign/spec.hh"
+
+using namespace xed;
+using namespace xed::campaign;
+
+namespace
+{
+
+int
+usage(std::ostream &os)
+{
+    os << "usage: xed_campaign run    <spec.json> [--out <file>] "
+          "[--dry-run]\n"
+          "                           [--threads <n>] [--max-shards <n>]\n"
+          "                           [--progress-interval <seconds>] "
+          "[--quiet]\n"
+          "       xed_campaign resume <spec.json> [same options]\n"
+          "       xed_campaign report <result.jsonl>\n";
+    return 2;
+}
+
+struct CliArgs
+{
+    std::string command;
+    std::string path;
+    RunOptions options;
+    bool dryRun = false;
+    bool quiet = false;
+    bool explicitOut = false;
+};
+
+bool
+parseArgs(int argc, char **argv, CliArgs &args, std::string &error)
+{
+    if (argc < 3) {
+        error = "missing arguments";
+        return false;
+    }
+    args.command = argv[1];
+    args.path = argv[2];
+    args.options.progressIntervalSeconds = 1.0;
+    for (int i = 3; i < argc; ++i) {
+        const std::string flag = argv[i];
+        const auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                error = flag + " requires a value";
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (flag == "--dry-run") {
+            args.dryRun = true;
+        } else if (flag == "--quiet") {
+            args.quiet = true;
+        } else if (flag == "--out") {
+            const char *v = value();
+            if (!v)
+                return false;
+            args.options.outPath = v;
+            args.explicitOut = true;
+        } else if (flag == "--threads") {
+            const char *v = value();
+            if (!v)
+                return false;
+            args.options.threads =
+                static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        } else if (flag == "--max-shards") {
+            const char *v = value();
+            if (!v)
+                return false;
+            args.options.maxShards = std::strtoull(v, nullptr, 10);
+        } else if (flag == "--progress-interval") {
+            const char *v = value();
+            if (!v)
+                return false;
+            args.options.progressIntervalSeconds =
+                std::strtod(v, nullptr);
+        } else {
+            error = "unknown option " + flag;
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args;
+    std::string error;
+    if (!parseArgs(argc, argv, args, error)) {
+        std::cerr << "xed_campaign: " << error << "\n";
+        return usage(std::cerr);
+    }
+
+    if (args.command == "report") {
+        if (!printReport(args.path, std::cout, &error)) {
+            std::cerr << "xed_campaign: " << error << "\n";
+            return 1;
+        }
+        return 0;
+    }
+    if (args.command != "run" && args.command != "resume") {
+        std::cerr << "xed_campaign: unknown command \"" << args.command
+                  << "\"\n";
+        return usage(std::cerr);
+    }
+
+    auto spec = loadSpecFile(args.path, &error);
+    if (!spec) {
+        std::cerr << "xed_campaign: " << error << "\n";
+        return 1;
+    }
+    applyEnvOverrides(*spec);
+
+    if (args.dryRun) {
+        printPlan(*spec, std::cout);
+        return 0;
+    }
+
+    args.options.resume = args.command == "resume";
+    if (!args.explicitOut)
+        args.options.outPath = spec->name + ".jsonl";
+    if (!args.quiet)
+        args.options.progressOut = &std::cerr;
+
+    const RunOutcome outcome = runCampaign(*spec, args.options);
+    if (!outcome.ok) {
+        std::cerr << "xed_campaign: " << outcome.error << "\n";
+        return 1;
+    }
+    if (!args.quiet) {
+        std::cerr << "xed_campaign: " << outcome.shardsRun
+                  << " shards run, " << outcome.shardsReplayed
+                  << " replayed -> " << args.options.outPath
+                  << (outcome.complete ? " (complete)" : " (partial)")
+                  << "\n";
+    }
+    if (outcome.complete &&
+        !printReport(args.options.outPath, std::cout, &error)) {
+        std::cerr << "xed_campaign: " << error << "\n";
+        return 1;
+    }
+    return 0;
+}

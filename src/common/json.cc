@@ -1,0 +1,579 @@
+#include "common/json.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace xed::json
+{
+
+double
+Value::asDouble() const
+{
+    switch (rep_) {
+      case NumRep::Dbl: return dbl_;
+      case NumRep::Int: return static_cast<double>(int_);
+      case NumRep::Uint: return static_cast<double>(uint_);
+    }
+    return 0;
+}
+
+std::uint64_t
+Value::asUint() const
+{
+    if (rep_ == NumRep::Uint)
+        return uint_;
+    if (rep_ == NumRep::Int && int_ >= 0)
+        return static_cast<std::uint64_t>(int_);
+    return 0;
+}
+
+std::int64_t
+Value::asInt() const
+{
+    if (rep_ == NumRep::Int)
+        return int_;
+    if (rep_ == NumRep::Uint &&
+        uint_ <= static_cast<std::uint64_t>(INT64_MAX))
+        return static_cast<std::int64_t>(uint_);
+    return 0;
+}
+
+const Value *
+Value::find(std::string_view key) const
+{
+    for (const auto &[name, value] : members_)
+        if (name == key)
+            return &value;
+    return nullptr;
+}
+
+void
+Value::set(std::string key, Value v)
+{
+    kind_ = Kind::Object;
+    for (auto &[name, value] : members_) {
+        if (name == key) {
+            value = std::move(v);
+            return;
+        }
+    }
+    members_.emplace_back(std::move(key), std::move(v));
+}
+
+bool
+operator==(const Value &a, const Value &b)
+{
+    if (a.kind_ != b.kind_)
+        return false;
+    switch (a.kind_) {
+      case Value::Kind::Null: return true;
+      case Value::Kind::Bool: return a.bool_ == b.bool_;
+      case Value::Kind::Number:
+        // Exact integers compare exactly; anything involving a double
+        // compares as doubles (2.0 == 2).
+        if (a.rep_ != Value::NumRep::Dbl && b.rep_ != Value::NumRep::Dbl) {
+            if (a.rep_ == b.rep_) {
+                return a.rep_ == Value::NumRep::Int ? a.int_ == b.int_
+                                                    : a.uint_ == b.uint_;
+            }
+            const auto &i = a.rep_ == Value::NumRep::Int ? a : b;
+            const auto &u = a.rep_ == Value::NumRep::Int ? b : a;
+            return i.int_ >= 0 &&
+                   static_cast<std::uint64_t>(i.int_) == u.uint_;
+        }
+        return a.asDouble() == b.asDouble();
+      case Value::Kind::String: return a.str_ == b.str_;
+      case Value::Kind::Array: return a.arr_ == b.arr_;
+      case Value::Kind::Object: return a.members_ == b.members_;
+    }
+    return false;
+}
+
+namespace
+{
+
+constexpr int maxDepth = 64;
+
+/** Recursive-descent parser over a string_view with offset tracking. */
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    std::optional<Value>
+    run(std::string *error)
+    {
+        std::optional<Value> value = parseValue(0);
+        if (value) {
+            skipWs();
+            if (pos_ != text_.size()) {
+                fail("trailing characters after JSON document");
+                value.reset();
+            }
+        }
+        if (!value && error)
+            *error = error_;
+        return value;
+    }
+
+  private:
+    void
+    fail(const std::string &what)
+    {
+        if (error_.empty())
+            error_ = what + " at offset " + std::to_string(pos_);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos_;
+        }
+    }
+
+    bool
+    consume(char expected)
+    {
+        if (pos_ < text_.size() && text_[pos_] == expected) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    std::optional<Value>
+    parseValue(int depth)
+    {
+        if (depth > maxDepth) {
+            fail("nesting deeper than " + std::to_string(maxDepth));
+            return std::nullopt;
+        }
+        skipWs();
+        if (pos_ >= text_.size()) {
+            fail("unexpected end of input");
+            return std::nullopt;
+        }
+        switch (text_[pos_]) {
+          case '{': return parseObject(depth);
+          case '[': return parseArray(depth);
+          case '"': return parseString();
+          case 't': return parseLiteral("true", Value(true));
+          case 'f': return parseLiteral("false", Value(false));
+          case 'n': return parseLiteral("null", Value(nullptr));
+          default: return parseNumber();
+        }
+    }
+
+    std::optional<Value>
+    parseLiteral(const char *word, Value value)
+    {
+        const std::size_t n = std::strlen(word);
+        if (text_.substr(pos_, n) != word) {
+            fail("invalid literal");
+            return std::nullopt;
+        }
+        pos_ += n;
+        return value;
+    }
+
+    std::optional<Value>
+    parseObject(int depth)
+    {
+        ++pos_; // '{'
+        Value object = Value::object();
+        skipWs();
+        if (consume('}'))
+            return object;
+        while (true) {
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != '"') {
+                fail("expected object key string");
+                return std::nullopt;
+            }
+            auto key = parseString();
+            if (!key)
+                return std::nullopt;
+            if (object.find(key->asString())) {
+                fail("duplicate object key \"" + key->asString() + "\"");
+                return std::nullopt;
+            }
+            skipWs();
+            if (!consume(':')) {
+                fail("expected ':' after object key");
+                return std::nullopt;
+            }
+            auto value = parseValue(depth + 1);
+            if (!value)
+                return std::nullopt;
+            object.set(key->asString(), std::move(*value));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return object;
+            fail("expected ',' or '}' in object");
+            return std::nullopt;
+        }
+    }
+
+    std::optional<Value>
+    parseArray(int depth)
+    {
+        ++pos_; // '['
+        Value array = Value::array();
+        skipWs();
+        if (consume(']'))
+            return array;
+        while (true) {
+            auto value = parseValue(depth + 1);
+            if (!value)
+                return std::nullopt;
+            array.push(std::move(*value));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return array;
+            fail("expected ',' or ']' in array");
+            return std::nullopt;
+        }
+    }
+
+    bool
+    parseHex4(unsigned &out)
+    {
+        if (pos_ + 4 > text_.size())
+            return false;
+        out = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = text_[pos_ + i];
+            unsigned digit;
+            if (c >= '0' && c <= '9')
+                digit = c - '0';
+            else if (c >= 'a' && c <= 'f')
+                digit = c - 'a' + 10;
+            else if (c >= 'A' && c <= 'F')
+                digit = c - 'A' + 10;
+            else
+                return false;
+            out = out << 4 | digit;
+        }
+        pos_ += 4;
+        return true;
+    }
+
+    void
+    appendUtf8(std::string &out, unsigned cp)
+    {
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | cp >> 6);
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else if (cp < 0x10000) {
+            out += static_cast<char>(0xE0 | cp >> 12);
+            out += static_cast<char>(0x80 | (cp >> 6 & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+            out += static_cast<char>(0xF0 | cp >> 18);
+            out += static_cast<char>(0x80 | (cp >> 12 & 0x3F));
+            out += static_cast<char>(0x80 | (cp >> 6 & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        }
+    }
+
+    std::optional<Value>
+    parseString()
+    {
+        ++pos_; // '"'
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size()) {
+                fail("unterminated string");
+                return std::nullopt;
+            }
+            const unsigned char c = text_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return Value(std::move(out));
+            }
+            if (c < 0x20) {
+                fail("unescaped control character in string");
+                return std::nullopt;
+            }
+            if (c != '\\') {
+                out += static_cast<char>(c);
+                ++pos_;
+                continue;
+            }
+            ++pos_; // '\'
+            if (pos_ >= text_.size()) {
+                fail("unterminated escape");
+                return std::nullopt;
+            }
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                  unsigned cp;
+                  if (!parseHex4(cp)) {
+                      fail("invalid \\u escape");
+                      return std::nullopt;
+                  }
+                  if (cp >= 0xD800 && cp < 0xDC00) {
+                      // High surrogate: a \uXXXX low surrogate must
+                      // follow.
+                      if (!(consume('\\') && consume('u'))) {
+                          fail("unpaired high surrogate");
+                          return std::nullopt;
+                      }
+                      unsigned low;
+                      if (!parseHex4(low) || low < 0xDC00 || low > 0xDFFF) {
+                          fail("invalid low surrogate");
+                          return std::nullopt;
+                      }
+                      cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+                  } else if (cp >= 0xDC00 && cp < 0xE000) {
+                      fail("unpaired low surrogate");
+                      return std::nullopt;
+                  }
+                  appendUtf8(out, cp);
+                  break;
+              }
+              default:
+                fail("invalid escape character");
+                return std::nullopt;
+            }
+        }
+    }
+
+    std::optional<Value>
+    parseNumber()
+    {
+        const std::size_t start = pos_;
+        bool negative = false;
+        if (consume('-'))
+            negative = true;
+        // Integer part: "0" or nonzero digit followed by digits.
+        if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+            fail("invalid number");
+            return std::nullopt;
+        }
+        if (text_[pos_] == '0')
+            ++pos_;
+        else
+            while (pos_ < text_.size() && text_[pos_] >= '0' &&
+                   text_[pos_] <= '9')
+                ++pos_;
+        bool integral = true;
+        if (consume('.')) {
+            integral = false;
+            if (pos_ >= text_.size() || text_[pos_] < '0' ||
+                text_[pos_] > '9') {
+                fail("digits required after decimal point");
+                return std::nullopt;
+            }
+            while (pos_ < text_.size() && text_[pos_] >= '0' &&
+                   text_[pos_] <= '9')
+                ++pos_;
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            integral = false;
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            if (pos_ >= text_.size() || text_[pos_] < '0' ||
+                text_[pos_] > '9') {
+                fail("digits required in exponent");
+                return std::nullopt;
+            }
+            while (pos_ < text_.size() && text_[pos_] >= '0' &&
+                   text_[pos_] <= '9')
+                ++pos_;
+        }
+        const std::string token(text_.substr(start, pos_ - start));
+        if (integral) {
+            // Keep counts exact: parse into uint64 / int64 when they
+            // fit, falling back to double only on overflow.
+            errno = 0;
+            char *end = nullptr;
+            if (!negative) {
+                const std::uint64_t u =
+                    std::strtoull(token.c_str(), &end, 10);
+                if (errno == 0 && end && *end == '\0')
+                    return Value(u);
+            } else {
+                const std::int64_t i =
+                    std::strtoll(token.c_str(), &end, 10);
+                if (errno == 0 && end && *end == '\0')
+                    return Value(i);
+            }
+        }
+        errno = 0;
+        char *end = nullptr;
+        const double d = std::strtod(token.c_str(), &end);
+        if (!end || *end != '\0' || !std::isfinite(d)) {
+            fail("number out of range");
+            return std::nullopt;
+        }
+        return Value(d);
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+    std::string error_;
+};
+
+void
+appendEscaped(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (const unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+appendNumber(std::string &out, const Value &v)
+{
+    if (v.isIntegral()) {
+        // asInt()/asUint() both reproduce the exact stored value for
+        // in-range integers; pick by sign.
+        if (v.asDouble() < 0)
+            out += std::to_string(v.asInt());
+        else
+            out += std::to_string(v.asUint());
+        return;
+    }
+    const double d = v.asDouble();
+    if (!std::isfinite(d)) {
+        out += "null"; // JSON cannot represent inf/nan
+        return;
+    }
+    out += formatDouble(d);
+}
+
+void
+dumpTo(std::string &out, const Value &v, int indent, int depth)
+{
+    const bool pretty = indent > 0;
+    const auto newline = [&](int d) {
+        if (pretty) {
+            out += '\n';
+            out.append(static_cast<std::size_t>(indent * d), ' ');
+        }
+    };
+    switch (v.kind()) {
+      case Value::Kind::Null: out += "null"; break;
+      case Value::Kind::Bool: out += v.asBool() ? "true" : "false"; break;
+      case Value::Kind::Number: appendNumber(out, v); break;
+      case Value::Kind::String: appendEscaped(out, v.asString()); break;
+      case Value::Kind::Array:
+        out += '[';
+        for (std::size_t i = 0; i < v.size(); ++i) {
+            if (i)
+                out += ',';
+            newline(depth + 1);
+            dumpTo(out, v.at(i), indent, depth + 1);
+        }
+        if (v.size())
+            newline(depth);
+        out += ']';
+        break;
+      case Value::Kind::Object:
+        out += '{';
+        for (std::size_t i = 0; i < v.members().size(); ++i) {
+            if (i)
+                out += ',';
+            newline(depth + 1);
+            appendEscaped(out, v.members()[i].first);
+            out += pretty ? ": " : ":";
+            dumpTo(out, v.members()[i].second, indent, depth + 1);
+        }
+        if (v.members().size())
+            newline(depth);
+        out += '}';
+        break;
+    }
+}
+
+} // namespace
+
+std::optional<Value>
+parse(std::string_view text, std::string *error)
+{
+    return Parser(text).run(error);
+}
+
+std::string
+dump(const Value &value)
+{
+    std::string out;
+    dumpTo(out, value, 0, 0);
+    return out;
+}
+
+std::string
+dumpPretty(const Value &value)
+{
+    std::string out;
+    dumpTo(out, value, 2, 0);
+    return out;
+}
+
+std::string
+formatDouble(double d)
+{
+    char buf[40];
+    // Integral values print as plain integers ("10", not "1e+01");
+    // below 2^53 the decimal form is exact, so it still round-trips.
+    if (std::abs(d) < 0x1.0p53 && d == std::floor(d)) {
+        std::snprintf(buf, sizeof buf, "%.0f", d);
+        return buf;
+    }
+    // Shortest decimal form that strtod parses back to the same bits;
+    // %.17g always round-trips, so the loop terminates.
+    for (int precision = 1; precision <= 17; ++precision) {
+        std::snprintf(buf, sizeof buf, "%.*g", precision, d);
+        if (std::strtod(buf, nullptr) == d)
+            break;
+    }
+    // JSON requires a leading digit ("0.5", not ".5"); printf already
+    // emits that form. Normalize "-0" to "0"? No: keep the sign so the
+    // value round-trips exactly.
+    return buf;
+}
+
+} // namespace xed::json

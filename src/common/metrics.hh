@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Atomic counter/gauge registry for live run telemetry.
+ *
+ * The campaign runner's worker threads bump counters on the hot path
+ * (systems simulated, shards completed, per-scheme failures) while a
+ * progress thread samples the registry once a second and emits
+ * machine-readable status lines. Registration takes a mutex; the
+ * returned Counter/Gauge references are stable for the registry's
+ * lifetime, so steady-state updates are a single relaxed atomic op.
+ */
+
+#ifndef XED_COMMON_METRICS_HH
+#define XED_COMMON_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace xed
+{
+
+/** Monotonically increasing atomic counter. */
+class Counter
+{
+  public:
+    void add(std::uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+    std::uint64_t get() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/** Last-write-wins atomic gauge (e.g. an ETA or a rate). */
+class Gauge
+{
+  public:
+    void set(double v) { value_.store(v, std::memory_order_relaxed); }
+    double get() const { return value_.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/**
+ * Named counters and gauges, created on first use. Thread-safe; the
+ * returned references stay valid until the registry is destroyed.
+ */
+class MetricsRegistry
+{
+  public:
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+
+    /** Point-in-time snapshots (each value read individually). */
+    std::map<std::string, std::uint64_t> counters() const;
+    std::map<std::string, double> gauges() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+};
+
+} // namespace xed
+
+#endif // XED_COMMON_METRICS_HH

@@ -22,6 +22,21 @@ runShard(const Scheme &scheme, const McConfig &config,
          const DimmShape &shape, std::uint64_t begin, std::uint64_t end,
          McResult &partial)
 {
+    // Progress is flushed in batches so the hot loop pays one relaxed
+    // fetch_add per progressBatch systems, not per system.
+    constexpr std::uint64_t progressBatch = 256;
+    std::uint64_t batchedSystems = 0;
+    std::uint64_t batchedFailures = 0;
+    const auto flushProgress = [&] {
+        if (config.progress && batchedSystems) {
+            config.progress->systemsDone.fetch_add(
+                batchedSystems, std::memory_order_relaxed);
+            config.progress->failedSystems.fetch_add(
+                batchedFailures, std::memory_order_relaxed);
+            batchedSystems = batchedFailures = 0;
+        }
+    };
+
     const double hours = config.years * hoursPerYear;
     for (std::uint64_t s = begin; s < end; ++s) {
         Rng rng = Rng::stream(config.seed, s);
@@ -47,7 +62,12 @@ runShard(const Scheme &scheme, const McConfig &config,
                                       failTime <= y * hoursPerYear);
         if (failTime >= 0)
             partial.failureTypes.inc(failType);
+
+        batchedFailures += failTime >= 0 ? 1 : 0;
+        if (++batchedSystems == progressBatch)
+            flushProgress();
     }
+    flushProgress();
 }
 
 /** Resolve McConfig::threads: 0 = XED_MC_THREADS, else the hardware. */
@@ -73,10 +93,23 @@ resolveThreads(unsigned requested, std::uint64_t systems)
 } // namespace
 
 McResult
+runMonteCarloShard(const Scheme &scheme, const McConfig &config,
+                   std::uint64_t begin, std::uint64_t end)
+{
+    const AddressLayout layout(config.geometry);
+    const DimmShape shape = scheme.dimmShape();
+    McResult partial;
+    if (begin < end)
+        runShard(scheme, config, layout, config.fit, shape, begin, end,
+                 partial);
+    return partial;
+}
+
+McResult
 runMonteCarlo(const Scheme &scheme, const McConfig &config)
 {
     const AddressLayout layout(config.geometry);
-    const FitTable fit;
+    const FitTable &fit = config.fit;
     const DimmShape shape = scheme.dimmShape();
     const unsigned threads = resolveThreads(config.threads,
                                             config.systems);

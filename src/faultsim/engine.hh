@@ -14,6 +14,7 @@
 #define XED_FAULTSIM_ENGINE_HH
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 
 #include "common/stats.hh"
@@ -22,6 +23,18 @@
 
 namespace xed::faultsim
 {
+
+/**
+ * Live progress shared by the simulation workers and a sampling
+ * thread (the campaign runner's telemetry). Workers flush in batches,
+ * so the counters lag the truth by at most a few hundred systems;
+ * reads are relaxed snapshots suitable for rate/ETA estimation only.
+ */
+struct McProgress
+{
+    std::atomic<std::uint64_t> systemsDone{0};
+    std::atomic<std::uint64_t> failedSystems{0};
+};
 
 struct McConfig
 {
@@ -45,6 +58,17 @@ struct McConfig
      * result is bit-identical for every thread count, including 1.
      */
     unsigned threads = 0;
+    /**
+     * Per-chip FIT rates. Defaults to Table I; campaign specs may
+     * override individual entries (sensitivity studies, vendor data).
+     */
+    FitTable fit{};
+    /**
+     * Optional live progress sink; when non-null the workers add
+     * completed systems / observed failures in batches. Purely
+     * observational: never affects the sampled faults or the result.
+     */
+    McProgress *progress = nullptr;
 };
 
 struct McResult
@@ -83,6 +107,19 @@ struct McResult
  * bit-identical for any thread count.
  */
 McResult runMonteCarlo(const Scheme &scheme, const McConfig &config);
+
+/**
+ * Simulate only systems [begin, end) of the campaign described by
+ * @p config, single-threaded, and return that shard's partial result.
+ * System s still draws from Rng::stream(config.seed, s), so
+ * concatenating (merging) adjacent shards reproduces runMonteCarlo
+ * bit-for-bit regardless of how the range was cut -- the primitive the
+ * campaign runner builds deterministic, resumable shards from. An
+ * empty range (begin == end) returns the merge identity: a McResult
+ * with zero trials everywhere.
+ */
+McResult runMonteCarloShard(const Scheme &scheme, const McConfig &config,
+                            std::uint64_t begin, std::uint64_t end);
 
 } // namespace xed::faultsim
 

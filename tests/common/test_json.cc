@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests for the hand-rolled JSON parser/writer: round-trips, escaping,
+ * exact integers, deterministic double formatting and strict rejection
+ * of malformed input. The campaign result store depends on dump() being
+ * byte-deterministic, so several tests pin exact output strings.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "common/json.hh"
+
+using namespace xed;
+
+namespace
+{
+
+json::Value
+mustParse(const std::string &text)
+{
+    std::string error;
+    auto v = json::parse(text, &error);
+    EXPECT_TRUE(v.has_value()) << "parse failed: " << error
+                               << " for input: " << text;
+    return v ? *v : json::Value();
+}
+
+} // namespace
+
+TEST(Json, ParsesScalars)
+{
+    EXPECT_TRUE(mustParse("null").isNull());
+    EXPECT_EQ(mustParse("true").asBool(), true);
+    EXPECT_EQ(mustParse("false").asBool(), false);
+    EXPECT_EQ(mustParse("\"hi\"").asString(), "hi");
+    EXPECT_EQ(mustParse("42").asUint(), 42u);
+    EXPECT_EQ(mustParse("-7").asInt(), -7);
+    EXPECT_DOUBLE_EQ(mustParse("2.5").asDouble(), 2.5);
+    EXPECT_DOUBLE_EQ(mustParse("1e-4").asDouble(), 1e-4);
+    EXPECT_DOUBLE_EQ(mustParse("-1.25E+2").asDouble(), -125.0);
+}
+
+TEST(Json, IntegersStayExact)
+{
+    const std::uint64_t big = 18446744073709551615ull; // 2^64 - 1
+    const auto v = mustParse("18446744073709551615");
+    EXPECT_TRUE(v.isIntegral());
+    EXPECT_EQ(v.asUint(), big);
+    EXPECT_EQ(json::dump(v), "18446744073709551615");
+
+    const auto neg = mustParse("-9223372036854775808");
+    EXPECT_TRUE(neg.isIntegral());
+    EXPECT_EQ(neg.asInt(), std::numeric_limits<std::int64_t>::min());
+    EXPECT_EQ(json::dump(neg), "-9223372036854775808");
+}
+
+TEST(Json, ObjectsPreserveInsertionOrder)
+{
+    const auto v = mustParse(R"({"z":1,"a":2,"m":3})");
+    ASSERT_TRUE(v.isObject());
+    ASSERT_EQ(v.members().size(), 3u);
+    EXPECT_EQ(v.members()[0].first, "z");
+    EXPECT_EQ(v.members()[1].first, "a");
+    EXPECT_EQ(v.members()[2].first, "m");
+    EXPECT_EQ(json::dump(v), R"({"z":1,"a":2,"m":3})");
+}
+
+TEST(Json, NestedRoundTrip)
+{
+    const std::string text =
+        R"({"name":"fig07","systems":1000000,"rates":[1e-06,0.0001],)"
+        R"("onDie":{"present":true,"escape":0.008},"note":null})";
+    const auto v = mustParse(text);
+    // dump() normalizes number spellings; re-parsing dump() must give
+    // an equal value, and dumping again must be a fixed point.
+    const std::string once = json::dump(v);
+    const auto v2 = mustParse(once);
+    EXPECT_EQ(v, v2);
+    EXPECT_EQ(json::dump(v2), once);
+}
+
+TEST(Json, StringEscaping)
+{
+    json::Value v(std::string("a\"b\\c\n\t\x01z"));
+    const std::string dumped = json::dump(v);
+    EXPECT_EQ(dumped, "\"a\\\"b\\\\c\\n\\t\\u0001z\"");
+    EXPECT_EQ(mustParse(dumped).asString(), v.asString());
+}
+
+TEST(Json, UnicodeEscapes)
+{
+    EXPECT_EQ(mustParse("\"\\u0041\"").asString(), "A");
+    // U+00E9 e-acute -> 2-byte UTF-8.
+    EXPECT_EQ(mustParse("\"\\u00e9\"").asString(), "\xC3\xA9");
+    // U+20AC euro sign -> 3-byte UTF-8.
+    EXPECT_EQ(mustParse("\"\\u20ac\"").asString(), "\xE2\x82\xAC");
+    // Surrogate pair U+1F600 -> 4-byte UTF-8.
+    EXPECT_EQ(mustParse("\"\\ud83d\\ude00\"").asString(),
+              "\xF0\x9F\x98\x80");
+}
+
+TEST(Json, DoubleFormattingIsShortestRoundTrip)
+{
+    EXPECT_EQ(json::formatDouble(0.5), "0.5");
+    EXPECT_EQ(json::formatDouble(1e-4), "0.0001");
+    EXPECT_EQ(json::formatDouble(0.1), "0.1");
+    EXPECT_EQ(json::formatDouble(1.0 / 3.0), "0.3333333333333333");
+    // Round-trip exactness for an awkward value.
+    const double p = 0.1234567890123456789;
+    EXPECT_EQ(std::strtod(json::formatDouble(p).c_str(), nullptr), p);
+}
+
+TEST(Json, RejectsMalformedInput)
+{
+    const char *bad[] = {
+        "",
+        "   ",
+        "{",
+        "[1,2",
+        "{\"a\":}",
+        "{\"a\" 1}",
+        "{'a':1}",
+        "[1,]",
+        "{\"a\":1,}",
+        "\"unterminated",
+        "\"bad\\escape\"",
+        "\"\\u12g4\"",
+        "\"\\ud800\"",      // unpaired high surrogate
+        "\"\\udc00\"",      // unpaired low surrogate
+        "01",               // leading zero
+        "1.",               // digits required after '.'
+        ".5",               // leading digit required
+        "1e",               // digits required in exponent
+        "+1",
+        "nul",
+        "truee",
+        "[1] []",           // trailing garbage
+        "1e999",            // overflows to inf
+        "nan",
+        "{\"a\":1,\"a\":2}", // duplicate key
+    };
+    for (const char *text : bad) {
+        std::string error;
+        EXPECT_FALSE(json::parse(text, &error).has_value())
+            << "should reject: " << text;
+        EXPECT_NE(error.find("offset"), std::string::npos)
+            << "error should carry a position: " << error;
+    }
+}
+
+TEST(Json, RejectsExcessiveNesting)
+{
+    std::string deep;
+    for (int i = 0; i < 100; ++i)
+        deep += '[';
+    for (int i = 0; i < 100; ++i)
+        deep += ']';
+    EXPECT_FALSE(json::parse(deep).has_value());
+}
+
+TEST(Json, BuilderInterface)
+{
+    auto obj = json::Value::object();
+    obj.set("type", "shard");
+    obj.set("index", std::uint64_t{7});
+    auto arr = json::Value::array();
+    arr.push(json::Value(1));
+    arr.push(json::Value(2.5));
+    obj.set("values", std::move(arr));
+    EXPECT_EQ(json::dump(obj),
+              R"({"type":"shard","index":7,"values":[1,2.5]})");
+    // set() overwrites in place, preserving position.
+    obj.set("index", std::uint64_t{8});
+    EXPECT_EQ(json::dump(obj),
+              R"({"type":"shard","index":8,"values":[1,2.5]})");
+    ASSERT_NE(obj.find("values"), nullptr);
+    EXPECT_EQ(obj.find("values")->size(), 2u);
+    EXPECT_EQ(obj.find("missing"), nullptr);
+}
+
+TEST(Json, PrettyPrintParsesBack)
+{
+    const auto v = mustParse(R"({"a":[1,2],"b":{"c":true}})");
+    const std::string pretty = json::dumpPretty(v);
+    EXPECT_NE(pretty.find('\n'), std::string::npos);
+    EXPECT_EQ(mustParse(pretty), v);
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Tests for the telemetry metrics registry: registration semantics,
+ * snapshots, and concurrent hot-path updates (also exercised under
+ * TSan by the campaign smoke flow).
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/metrics.hh"
+
+using namespace xed;
+
+TEST(Metrics, CounterBasics)
+{
+    MetricsRegistry registry;
+    auto &c = registry.counter("systems");
+    EXPECT_EQ(c.get(), 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.get(), 42u);
+    // Same name returns the same counter.
+    EXPECT_EQ(&registry.counter("systems"), &c);
+    EXPECT_EQ(registry.counters().at("systems"), 42u);
+}
+
+TEST(Metrics, GaugeBasics)
+{
+    MetricsRegistry registry;
+    auto &g = registry.gauge("eta");
+    EXPECT_EQ(g.get(), 0.0);
+    g.set(12.5);
+    g.set(3.25);
+    EXPECT_EQ(g.get(), 3.25);
+    EXPECT_EQ(registry.gauges().at("eta"), 3.25);
+}
+
+TEST(Metrics, SnapshotListsAllNames)
+{
+    MetricsRegistry registry;
+    registry.counter("a").add(1);
+    registry.counter("b").add(2);
+    registry.gauge("x").set(1.0);
+    const auto counters = registry.counters();
+    ASSERT_EQ(counters.size(), 2u);
+    EXPECT_EQ(counters.at("a"), 1u);
+    EXPECT_EQ(counters.at("b"), 2u);
+    EXPECT_EQ(registry.gauges().size(), 1u);
+}
+
+TEST(Metrics, ConcurrentUpdatesAreLossless)
+{
+    MetricsRegistry registry;
+    constexpr unsigned threads = 8;
+    constexpr std::uint64_t perThread = 20000;
+    std::vector<std::thread> workers;
+    for (unsigned t = 0; t < threads; ++t) {
+        workers.emplace_back([&registry, t] {
+            // Mix pre-registered and on-demand lookups across threads.
+            auto &mine = registry.counter("shared");
+            for (std::uint64_t i = 0; i < perThread; ++i) {
+                mine.add();
+                if (i % 1024 == 0)
+                    registry.counter("per." + std::to_string(t)).add();
+            }
+            registry.gauge("rate").set(static_cast<double>(t));
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+    EXPECT_EQ(registry.counter("shared").get(), threads * perThread);
+    const auto counters = registry.counters();
+    EXPECT_EQ(counters.size(), 1 + threads);
+    const double rate = registry.gauge("rate").get();
+    EXPECT_GE(rate, 0.0);
+    EXPECT_LT(rate, static_cast<double>(threads));
+}
