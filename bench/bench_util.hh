@@ -7,6 +7,7 @@
  *   XED_MC_SYSTEMS  -- Monte-Carlo systems per scheme (reliability)
  *   XED_MC_THREADS  -- Monte-Carlo worker threads (default: hardware
  *                      concurrency; results are thread-count invariant)
+ *   XED_MC_SAMPLER  -- Poisson count sampler: knuth (default) or invcdf
  *   XED_PERF_OPS    -- memory ops per core (performance)
  * so the full-fidelity (paper-scale) runs are one env var away.
  *
@@ -21,9 +22,11 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 #include <thread>
 
+#include "common/env.hh"
 #include "faultsim/engine.hh"
 
 namespace xed::bench
@@ -32,11 +35,11 @@ namespace xed::bench
 inline std::uint64_t
 envScale(const char *name, std::uint64_t fallback)
 {
-    if (const char *value = std::getenv(name)) {
-        const auto parsed = std::strtoull(value, nullptr, 10);
-        if (parsed > 0)
-            return parsed;
-    }
+    // Strict parse: a malformed value (garbage, sign, overflow) throws
+    // instead of silently running the bench at the fallback scale. An
+    // explicit 0 keeps the historical "use the default" meaning.
+    if (const auto parsed = envU64(name); parsed && *parsed > 0)
+        return *parsed;
     return fallback;
 }
 
@@ -69,10 +72,31 @@ mcSeed(std::uint64_t fallback)
 }
 
 /**
- * The standard reliability-bench configuration: systems and seed
- * resolved from the environment with the bench's defaults. Threads
- * stay 0 ("auto"), which the engine resolves to XED_MC_THREADS and
- * then the hardware.
+ * Poisson count sampler: XED_MC_SAMPLER ("knuth" or "invcdf"), else
+ * the fallback (Knuth, the bit-identical golden path). Anything else
+ * throws -- a typo'd sampler must not silently run the golden path.
+ */
+inline faultsim::PoissonSampler
+mcSampler(faultsim::PoissonSampler fallback =
+              faultsim::PoissonSampler::Knuth)
+{
+    if (const char *value = std::getenv("XED_MC_SAMPLER")) {
+        const auto parsed = faultsim::parsePoissonSampler(value);
+        if (!parsed)
+            throw std::runtime_error(
+                std::string("XED_MC_SAMPLER: expected \"knuth\" or "
+                            "\"invcdf\", got \"") +
+                value + "\"");
+        return *parsed;
+    }
+    return fallback;
+}
+
+/**
+ * The standard reliability-bench configuration: systems, seed and
+ * sampler resolved from the environment with the bench's defaults.
+ * Threads stay 0 ("auto"), which the engine resolves to
+ * XED_MC_THREADS and then the hardware.
  */
 inline faultsim::McConfig
 mcConfig(std::uint64_t defaultSeed, std::uint64_t systemsFallback = 1000000)
@@ -80,6 +104,7 @@ mcConfig(std::uint64_t defaultSeed, std::uint64_t systemsFallback = 1000000)
     faultsim::McConfig cfg;
     cfg.systems = mcSystems(systemsFallback);
     cfg.seed = mcSeed(defaultSeed);
+    cfg.sampler = mcSampler();
     return cfg;
 }
 

@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Measure Monte-Carlo sampling-kernel throughput and record it as
+# BENCH_mc_throughput.json in the repository root.
+#
+#   scripts/bench_throughput.sh [build-dir]
+#
+# Respects the usual knobs: XED_MC_SYSTEMS (default 1M), XED_MC_SEED,
+# XED_MC_SAMPLER, XED_MC_THREADS, XED_BENCH_REPEATS, and XED_BENCH_OUT
+# for the output path (default: <repo>/BENCH_mc_throughput.json).
+set -eu
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build=${1:-"$repo/build"}
+bench="$build/bench/mc_throughput"
+
+if [ ! -x "$bench" ]; then
+    echo "bench_throughput: $bench not built yet; run" >&2
+    echo "  cmake -B \"$build\" -S \"$repo\" && cmake --build \"$build\" --target mc_throughput" >&2
+    exit 1
+fi
+
+XED_BENCH_OUT=${XED_BENCH_OUT:-"$repo/BENCH_mc_throughput.json"} \
+    exec "$bench"

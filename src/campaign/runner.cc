@@ -5,13 +5,16 @@
 #include <condition_variable>
 #include <cstdlib>
 #include <filesystem>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <ostream>
+#include <stdexcept>
 #include <thread>
 
 #include "campaign/telemetry.hh"
+#include "common/env.hh"
 #include "common/table.hh"
 #include "ecc/crc8atm.hh"
 #include "ecc/error_patterns.hh"
@@ -27,11 +30,18 @@ unsigned
 resolveThreads(const CampaignSpec &spec, const RunOptions &options,
                std::uint64_t pendingTasks)
 {
-    unsigned threads = options.threads ? options.threads : spec.threads;
+    std::uint64_t threads = options.threads ? options.threads
+                                            : spec.threads;
     if (threads == 0) {
-        if (const char *env = std::getenv("XED_MC_THREADS"))
-            threads =
-                static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+        // envU64 throws on malformed values, same strictness as the
+        // engine's own XED_MC_THREADS resolution.
+        if (const auto env = envU64("XED_MC_THREADS")) {
+            if (*env > std::numeric_limits<unsigned>::max())
+                throw std::runtime_error(
+                    "XED_MC_THREADS: " + std::to_string(*env) +
+                    " is not a sane worker-thread count");
+            threads = *env;
+        }
         if (threads == 0)
             threads = std::thread::hardware_concurrency();
         if (threads == 0)
@@ -270,8 +280,13 @@ runCampaign(const CampaignSpec &spec, const RunOptions &options)
             failedSystemsOf(spec, cell.result));
     }
 
-    const unsigned threads =
-        resolveThreads(spec, options, limit - firstPending);
+    unsigned threads = 1;
+    try {
+        threads = resolveThreads(spec, options, limit - firstPending);
+    } catch (const std::exception &e) {
+        outcome.error = e.what();
+        return outcome;
+    }
     ProgressReporter::Setup telemetry;
     telemetry.intervalSeconds = options.progressIntervalSeconds;
     telemetry.statusOut = options.progressOut;

@@ -4,6 +4,9 @@
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
+
+#include "common/env.hh"
 
 namespace xed::campaign
 {
@@ -207,6 +210,14 @@ parseReliabilityKeys(SpecReader &reader, CampaignSpec &spec)
         reader.getUint("channels", spec.channels));
     spec.scrubIntervalHours =
         reader.getDouble("scrubIntervalHours", spec.scrubIntervalHours);
+
+    const std::string samplerName = reader.getString(
+        "sampler", faultsim::poissonSamplerName(spec.sampler));
+    if (const auto sampler = faultsim::parsePoissonSampler(samplerName))
+        spec.sampler = *sampler;
+    else
+        reader.fail("unknown sampler \"" + samplerName +
+                    "\" (expected knuth or invcdf)");
 
     if (const json::Value *onDie = reader.get("onDie")) {
         if (!onDie->isObject()) {
@@ -452,18 +463,27 @@ loadSpecFile(const std::string &path, std::string *error)
 void
 applyEnvOverrides(CampaignSpec &spec)
 {
-    const auto readEnv = [](const char *name,
-                            std::uint64_t &target) {
-        if (const char *value = std::getenv(name)) {
-            const auto parsed = std::strtoull(value, nullptr, 10);
-            if (parsed > 0)
-                target = parsed;
-        }
+    const auto readEnv = [](const char *name, std::uint64_t &target) {
+        // envU64 throws on garbage (strict base-10), so a typo'd
+        // override aborts the campaign instead of silently running
+        // with the spec's value.
+        if (const auto parsed = envU64(name); parsed && *parsed > 0)
+            target = *parsed;
     };
-    if (spec.kind == CampaignKind::Reliability)
+    if (spec.kind == CampaignKind::Reliability) {
         readEnv("XED_MC_SYSTEMS", spec.systems);
-    else
+        if (const char *value = std::getenv("XED_MC_SAMPLER")) {
+            const auto sampler = faultsim::parsePoissonSampler(value);
+            if (!sampler)
+                throw std::runtime_error(
+                    std::string("XED_MC_SAMPLER: expected \"knuth\" or "
+                                "\"invcdf\", got \"") +
+                    value + "\"");
+            spec.sampler = *sampler;
+        }
+    } else {
         readEnv("XED_TRIALS", spec.trials);
+    }
     readEnv("XED_MC_SEED", spec.seed);
 }
 
@@ -486,6 +506,7 @@ specToJson(const CampaignSpec &spec)
         doc.set("years", spec.years);
         doc.set("channels", spec.channels);
         doc.set("scrubIntervalHours", spec.scrubIntervalHours);
+        doc.set("sampler", faultsim::poissonSamplerName(spec.sampler));
         auto onDie = json::Value::object();
         onDie.set("present", spec.onDie.present);
         onDie.set("scalingRate", spec.onDie.scalingRate);
@@ -593,6 +614,7 @@ mcConfigFor(const CampaignSpec &spec, unsigned point)
     cfg.channels = spec.channels;
     cfg.seed = spec.seed;
     cfg.scrubIntervalHours = spec.scrubIntervalHours;
+    cfg.sampler = spec.sampler;
     cfg.fit = spec.fit;
     cfg.threads = 1; // the campaign runner parallelizes over shards
     if (spec.sweep.active()) {

@@ -23,6 +23,8 @@
  *     "years": 7,                   // simulated lifetime
  *     "channels": 4,
  *     "scrubIntervalHours": 0,
+ *     "sampler": "knuth",           // or "invcdf"; Poisson count draw
+
  *     "onDie": {"present": true, "scalingRate": 0,
  *               "detectionEscapeProb": 0.008},
  *     "fitOverrides": {"single-bit": {"transient": 14.2,
@@ -91,6 +93,12 @@ struct CampaignSpec
     double years = evaluationYears;
     unsigned channels = 4;
     double scrubIntervalHours = 0;
+    /**
+     * Poisson fault-count sampler (knuth or invcdf). Part of the
+     * canonical spec form and therefore of the spec hash: a store
+     * written under one sampler cannot be resumed under the other.
+     */
+    faultsim::PoissonSampler sampler = faultsim::PoissonSampler::Knuth;
     faultsim::OnDieOptions onDie{};
     faultsim::FitTable fit{};
     SweepAxis sweep;
@@ -130,9 +138,11 @@ std::optional<CampaignSpec> loadSpecFile(const std::string &path,
 
 /**
  * Apply the bench-compatible environment overrides -- XED_MC_SYSTEMS,
- * XED_MC_SEED, XED_TRIALS -- to an already-parsed spec. Called before
- * hashing, so a resume under different overrides is rejected by the
- * spec-hash check instead of silently mixing shard geometries.
+ * XED_MC_SEED, XED_TRIALS, XED_MC_SAMPLER -- to an already-parsed
+ * spec. Called before hashing, so a resume under different overrides
+ * (a different sampler included) is rejected by the spec-hash check
+ * instead of silently mixing shard geometries. Malformed values throw
+ * std::runtime_error rather than being silently ignored.
  */
 void applyEnvOverrides(CampaignSpec &spec);
 

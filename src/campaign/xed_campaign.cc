@@ -15,8 +15,9 @@
  *   --progress-interval <s> status-line period in seconds (default 1)
  *   --quiet                 no live status lines (sidecar still kept)
  *
- * Environment: XED_MC_SYSTEMS / XED_TRIALS / XED_MC_SEED override the
- * spec (reflected in the spec hash), XED_MC_THREADS the worker count.
+ * Environment: XED_MC_SYSTEMS / XED_TRIALS / XED_MC_SEED /
+ * XED_MC_SAMPLER override the spec (reflected in the spec hash),
+ * XED_MC_THREADS the worker count. Malformed values are errors.
  */
 
 #include <cstring>
@@ -139,7 +140,12 @@ main(int argc, char **argv)
         std::cerr << "xed_campaign: " << error << "\n";
         return 1;
     }
-    applyEnvOverrides(*spec);
+    try {
+        applyEnvOverrides(*spec);
+    } catch (const std::exception &e) {
+        std::cerr << "xed_campaign: " << e.what() << "\n";
+        return 1;
+    }
 
     if (args.dryRun) {
         printPlan(*spec, std::cout);

@@ -105,7 +105,24 @@ class Rng
     {
         // Two independent splitmix64 passes decorrelate seed and index
         // before the constructor's own splitmix64 expansion.
-        return Rng(mix64(seed) ^ mix64(~index * 0xD2B74407B1CE6E93ull));
+        return streamMixed(mixSeed(seed), index);
+    }
+
+    /**
+     * The seed half of stream()'s derivation, hoisted: callers looping
+     * over many stream indices (the Monte-Carlo system loop) mix the
+     * seed once and derive each stream with streamMixed(). For any
+     * seed, streamMixed(mixSeed(seed), i) == stream(seed, i).
+     */
+    static std::uint64_t mixSeed(std::uint64_t seed)
+    {
+        return mix64(seed);
+    }
+
+    static Rng
+    streamMixed(std::uint64_t mixedSeed, std::uint64_t index)
+    {
+        return Rng(mixedSeed ^ mix64(~index * 0xD2B74407B1CE6E93ull));
     }
 
     /**

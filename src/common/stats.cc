@@ -115,9 +115,16 @@ Proportion::upper95() const
 }
 
 void
-CounterSet::inc(const std::string &name, std::uint64_t by)
+CounterSet::inc(std::string_view name, std::uint64_t by)
 {
-    counters_[name] += by;
+    // Heterogeneous find first: incrementing a known counter must not
+    // construct a temporary std::string (the Monte-Carlo hot loop
+    // counts failure types by literal name).
+    const auto it = counters_.find(name);
+    if (it != counters_.end())
+        it->second += by;
+    else
+        counters_.emplace(std::string(name), by);
 }
 
 void
@@ -128,7 +135,7 @@ CounterSet::merge(const CounterSet &other)
 }
 
 std::uint64_t
-CounterSet::get(const std::string &name) const
+CounterSet::get(std::string_view name) const
 {
     const auto it = counters_.find(name);
     return it == counters_.end() ? 0 : it->second;

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 
 namespace xed
 {
@@ -76,21 +77,26 @@ class Proportion
     std::uint64_t trials_ = 0;
 };
 
-/** A bag of named integer counters (DUE/SDC breakdowns etc.). */
+/**
+ * A bag of named integer counters (DUE/SDC breakdowns etc.). Lookups
+ * are heterogeneous (string_view / literal keys), so incrementing an
+ * existing counter from a hot loop allocates nothing; only the first
+ * occurrence of a name materializes a std::string key.
+ */
 class CounterSet
 {
   public:
-    void inc(const std::string &name, std::uint64_t by = 1);
+    void inc(std::string_view name, std::uint64_t by = 1);
     /** Fold another counter set's counts into this one. */
     void merge(const CounterSet &other);
-    std::uint64_t get(const std::string &name) const;
-    const std::map<std::string, std::uint64_t> &all() const
+    std::uint64_t get(std::string_view name) const;
+    const std::map<std::string, std::uint64_t, std::less<>> &all() const
     {
         return counters_;
     }
 
   private:
-    std::map<std::string, std::uint64_t> counters_;
+    std::map<std::string, std::uint64_t, std::less<>> counters_;
 };
 
 } // namespace xed

@@ -1,9 +1,11 @@
 #include "faultsim/engine.hh"
 
 #include <algorithm>
-#include <cstdlib>
+#include <limits>
 #include <thread>
 #include <vector>
+
+#include "common/env.hh"
 
 namespace xed::faultsim
 {
@@ -12,9 +14,23 @@ namespace
 {
 
 /**
+ * Reserve enough for any fault set a DIMM realistically draws:
+ * expected faults per DIMM over 7 years is ~0.07 (Table I), so 64
+ * concurrent events is astronomically beyond the high-water mark.
+ * Reserving up front makes the steady-state per-system loop
+ * allocation-free (pinned by the counting-allocator test).
+ */
+constexpr std::size_t eventReserve = 64;
+
+/**
  * Simulate systems [begin, end) and accumulate into @p partial. Each
  * system's RNG is derived from (seed, s) alone, so the shard
  * boundaries never affect the sampled faults.
+ *
+ * All sampling invariants (FIT sums, kind CDF, exp(-lambda), shape)
+ * are hoisted into one immutable SampleContext before the loop, and
+ * the event/scratch buffers are reused across systems: the loop body
+ * re-derives nothing and allocates nothing in steady state.
  */
 void
 runShard(const Scheme &scheme, const McConfig &config,
@@ -38,47 +54,81 @@ runShard(const Scheme &scheme, const McConfig &config,
     };
 
     const double hours = config.years * hoursPerYear;
+    const SampleContext ctx(fit, layout, shape, hours,
+                            config.scrubIntervalHours, config.sampler);
+    // Only credit years that were fully simulated: a run with
+    // years = 0.5 must not report a year-1 failure probability.
+    unsigned creditYears = 0;
+    while (creditYears < 7 &&
+           (creditYears + 1) * hoursPerYear <= hours)
+        ++creditYears;
+
+    std::vector<FaultEvent> events;
+    events.reserve(eventReserve);
+    EvalScratch scratch;
+    scratch.reserve(eventReserve);
+
+    // Year crediting is batched per shard: the loop bumps local
+    // counters and one addMany per year flushes them at the end.
+    // Pure integer totals, so the result is byte-identical to the
+    // per-system add() it replaces.
+    std::array<std::uint64_t, 8> failByYear{};
+    std::uint64_t systemsTotal = 0;
+
+    const std::uint64_t mixedSeed = Rng::mixSeed(config.seed);
     for (std::uint64_t s = begin; s < end; ++s) {
-        Rng rng = Rng::stream(config.seed, s);
+        Rng rng = Rng::streamMixed(mixedSeed, s);
         double failTime = -1;
         const char *failType = nullptr;
         for (unsigned ch = 0; ch < config.channels; ++ch) {
-            const auto events =
-                sampleDimmFaults(rng, fit, layout, shape, hours,
-                                 config.scrubIntervalHours);
-            if (events.empty())
+            // Zero-fault lifetimes (>= 93% of channels at Table I
+            // rates) cost one count draw and nothing else.
+            const unsigned count = ctx.sampleFaultCount(rng);
+            if (count == 0)
                 continue;
-            if (const auto f = scheme.evaluateDimm(events, layout, rng)) {
+            sampleDimmFaultsInto(rng, ctx, count, events);
+            if (const auto f =
+                    scheme.evaluateDimm(events, layout, rng, scratch)) {
                 if (failTime < 0 || f->timeHours < failTime) {
                     failTime = f->timeHours;
                     failType = f->type;
                 }
             }
         }
-        // Only credit years that were fully simulated: a run with
-        // years = 0.5 must not report a year-1 failure probability.
-        for (unsigned y = 1; y < 8 && y * hoursPerYear <= hours; ++y)
-            partial.failByYear[y].add(failTime >= 0 &&
-                                      failTime <= y * hoursPerYear);
-        if (failTime >= 0)
+        ++systemsTotal;
+        if (failTime >= 0) {
+            for (unsigned y = creditYears;
+                 y >= 1 && failTime <= y * hoursPerYear; --y)
+                ++failByYear[y];
             partial.failureTypes.inc(failType);
-
-        batchedFailures += failTime >= 0 ? 1 : 0;
+            ++batchedFailures;
+        }
         if (++batchedSystems == progressBatch)
             flushProgress();
     }
     flushProgress();
+    for (unsigned y = 1; y <= creditYears; ++y)
+        partial.failByYear[y].addMany(failByYear[y], systemsTotal);
 }
 
-/** Resolve McConfig::threads: 0 = XED_MC_THREADS, else the hardware. */
+/**
+ * Resolve McConfig::threads: 0 = XED_MC_THREADS, else the hardware.
+ * A malformed XED_MC_THREADS (garbage, sign, overflow) throws instead
+ * of silently wrapping or resolving to "auto"; the explicit value 0
+ * keeps its documented "auto" meaning.
+ */
 unsigned
 resolveThreads(unsigned requested, std::uint64_t systems)
 {
-    unsigned threads = requested;
+    std::uint64_t threads = requested;
     if (threads == 0) {
-        if (const char *env = std::getenv("XED_MC_THREADS"))
-            threads = static_cast<unsigned>(
-                std::strtoul(env, nullptr, 10));
+        if (const auto env = envU64("XED_MC_THREADS")) {
+            if (*env > std::numeric_limits<unsigned>::max())
+                throw std::runtime_error(
+                    "XED_MC_THREADS: " + std::to_string(*env) +
+                    " is not a sane worker-thread count");
+            threads = *env;
+        }
         if (threads == 0)
             threads = std::thread::hardware_concurrency();
         if (threads == 0)

@@ -64,6 +64,16 @@ struct McConfig
      */
     FitTable fit{};
     /**
+     * Poisson fault-count sampler. Knuth (default) is the historical
+     * k+1-uniform loop and is the bit-identical golden path; InvCdf
+     * draws one uniform through a precomputed inverse-CDF table --
+     * statistically exact and deterministic per seed, but a different
+     * draw sequence, so results differ from Knuth by Monte-Carlo
+     * noise only. Campaign specs select it via "sampler": "invcdf"
+     * (part of the spec hash); benches via XED_MC_SAMPLER.
+     */
+    PoissonSampler sampler = PoissonSampler::Knuth;
+    /**
      * Optional live progress sink; when non-null the workers add
      * completed systems / observed failures in batches. Purely
      * observational: never affects the sampled faults or the result.

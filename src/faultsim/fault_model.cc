@@ -5,19 +5,46 @@
 namespace xed::faultsim
 {
 
-unsigned
-samplePoisson(Rng &rng, double lambda)
+namespace
 {
-    // Knuth's method; lambda is << 1 in all our uses (expected fault
-    // count per DIMM over 7 years is ~0.07).
-    const double limit = std::exp(-lambda);
+
+/** Knuth product-of-uniforms with the exp(-lambda) limit precomputed. */
+unsigned
+samplePoissonKnuth(Rng &rng, double expNegLambda)
+{
     unsigned k = 0;
     double p = 1.0;
     do {
         ++k;
         p *= rng.uniform();
-    } while (p > limit);
+    } while (p > expNegLambda);
     return k - 1;
+}
+
+} // namespace
+
+const char *
+poissonSamplerName(PoissonSampler sampler)
+{
+    return sampler == PoissonSampler::InvCdf ? "invcdf" : "knuth";
+}
+
+std::optional<PoissonSampler>
+parsePoissonSampler(std::string_view name)
+{
+    if (name == "knuth")
+        return PoissonSampler::Knuth;
+    if (name == "invcdf")
+        return PoissonSampler::InvCdf;
+    return std::nullopt;
+}
+
+unsigned
+samplePoisson(Rng &rng, double lambda)
+{
+    // Knuth's method; lambda is << 1 in all our uses (expected fault
+    // count per DIMM over 7 years is ~0.07).
+    return samplePoissonKnuth(rng, std::exp(-lambda));
 }
 
 FaultKind
@@ -35,59 +62,59 @@ pickFaultKind(const FitTable &fit, double draw)
     return static_cast<FaultKind>(numFaultKinds - 1);
 }
 
+SampleContext::SampleContext(const FitTable &fit,
+                             const AddressLayout &layout,
+                             const DimmShape &shape, double hours,
+                             double scrubIntervalHours,
+                             PoissonSampler sampler)
+    : layout_(layout), shape_(shape), hours_(hours),
+      scrubIntervalHours_(scrubIntervalHours), sampler_(sampler)
+{
+    // Same accumulation order as fit.totalFit() / pickFaultKind's
+    // linear scan, so every derived double is bit-identical to the
+    // values the per-call path used to recompute.
+    double cumulative = 0;
+    for (unsigned i = 0; i < numFaultKinds; ++i) {
+        const FitEntry &entry = fit.rates[i];
+        kindTotal_[i] = entry.total();
+        kindTransient_[i] = entry.transient;
+        cumulative += entry.total();
+        kindCdf_[i] = cumulative;
+    }
+    totalFit_ = cumulative;
+
+    const double perChip = totalFit_ * 1e-9 * hours_;
+    lambda_ = perChip * shape_.chips();
+    expNegLambda_ = std::exp(-lambda_);
+    knuthZeroMax_ = static_cast<std::uint64_t>(
+        std::floor(expNegLambda_ * 0x1.0p53));
+
+    // Inverse-CDF table: p_k via the stable recurrence
+    // p_{k+1} = p_k * lambda / (k + 1), accumulated until the CDF
+    // saturates to 1.0 in double precision (k <= ~40 for lambda <= 2;
+    // our workloads sit well below 1). Any uniform in [0, 1) then
+    // lands inside the table; the final entry clamps the (probability
+    // < 2^-53) tail.
+    double p = expNegLambda_;
+    double cdf = p;
+    poissonCdf_[0] = cdf;
+    poissonTerms_ = 1;
+    while (cdf < 1.0 && poissonTerms_ < poissonCdf_.size()) {
+        p *= lambda_ / static_cast<double>(poissonTerms_);
+        cdf += p;
+        poissonCdf_[poissonTerms_++] = cdf;
+    }
+}
+
 std::vector<FaultEvent>
 sampleDimmFaults(Rng &rng, const FitTable &fit, const AddressLayout &layout,
                  const DimmShape &shape, double hours,
                  double scrubIntervalHours)
 {
+    const SampleContext ctx(fit, layout, shape, hours,
+                            scrubIntervalHours);
     std::vector<FaultEvent> events;
-
-    // Total event rate across all chips and kinds (transient +
-    // permanent), then attribute each sampled event.
-    const double sum = fit.totalFit();
-    const double perChip = sum * 1e-9 * hours;
-    const double lambda = perChip * shape.chips();
-    const unsigned count = samplePoisson(rng, lambda);
-    if (count == 0)
-        return events;
-
-    for (unsigned e = 0; e < count; ++e) {
-        const unsigned chipLinear =
-            static_cast<unsigned>(rng.below(shape.chips()));
-        const auto kind = pickFaultKind(fit, rng.uniform() * sum);
-        const auto &entry = fit.entry(kind);
-        const bool transient =
-            rng.uniform() * entry.total() < entry.transient;
-        const double time = rng.uniform() * hours;
-
-        FaultEvent ev;
-        ev.rank = chipLinear / shape.chipsPerRank;
-        ev.chip = chipLinear % shape.chipsPerRank;
-        ev.kind = kind;
-        ev.transient = transient;
-        ev.timeHours = time;
-        if (transient && scrubIntervalHours > 0) {
-            // The patrol scrubber rewrites (and thereby heals) the
-            // affected cells at the next scrub boundary.
-            ev.expiresHours =
-                (std::floor(time / scrubIntervalHours) + 1.0) *
-                scrubIntervalHours;
-        }
-        ev.range = randomRange(rng, layout, kind);
-        events.push_back(ev);
-
-        if (kind == FaultKind::MultiRank && shape.twinMultiRank) {
-            // Shared circuitry: the same chip position fails in every
-            // other rank of the DIMM at the same time.
-            for (unsigned r = 0; r < shape.ranks; ++r) {
-                if (r == ev.rank)
-                    continue;
-                FaultEvent twin = ev;
-                twin.rank = r;
-                events.push_back(twin);
-            }
-        }
-    }
+    sampleDimmFaultsInto(rng, ctx, events);
     return events;
 }
 

@@ -11,8 +11,10 @@
 #ifndef XED_FAULTSIM_SCHEME_HH
 #define XED_FAULTSIM_SCHEME_HH
 
+#include <initializer_list>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -44,6 +46,28 @@ struct SchemeFailure
     const char *type = "";
 };
 
+/**
+ * Reusable per-worker scratch for scheme evaluation. The evaluators
+ * partition and filter fault events into these buffers; reusing one
+ * scratch across evaluateDimm calls means the buffers grow once to
+ * their high-water capacity and steady-state evaluation allocates
+ * nothing. A scratch must not be shared between concurrent workers.
+ */
+struct EvalScratch
+{
+    std::vector<FaultEvent> group;   ///< rank-group partition buffer
+    std::vector<FaultEvent> visible; ///< events reaching the DIMM code
+    std::vector<FaultEvent> escaped; ///< detection-escaped word faults
+
+    void
+    reserve(std::size_t n)
+    {
+        group.reserve(n);
+        visible.reserve(n);
+        escaped.reserve(n);
+    }
+};
+
 class Scheme
 {
   public:
@@ -57,11 +81,32 @@ class Scheme
     /**
      * Evaluate one DIMM's fault events; return the earliest failure if
      * the protection is defeated at any time. @p rng drives the
-     * probabilistic on-die escape decisions.
+     * probabilistic on-die escape decisions; @p scratch provides the
+     * reusable buffers (the hot path hands each worker its own).
      */
     virtual std::optional<SchemeFailure>
-    evaluateDimm(const std::vector<FaultEvent> &events,
-                 const AddressLayout &layout, Rng &rng) const = 0;
+    evaluateDimm(std::span<const FaultEvent> events,
+                 const AddressLayout &layout, Rng &rng,
+                 EvalScratch &scratch) const = 0;
+
+    /** Convenience overload with a throwaway scratch (tests, tools). */
+    std::optional<SchemeFailure>
+    evaluateDimm(std::span<const FaultEvent> events,
+                 const AddressLayout &layout, Rng &rng) const
+    {
+        EvalScratch scratch;
+        return evaluateDimm(events, layout, rng, scratch);
+    }
+
+    /** Brace-list convenience: evaluateDimm({ev1, ev2}, ...). */
+    std::optional<SchemeFailure>
+    evaluateDimm(std::initializer_list<FaultEvent> events,
+                 const AddressLayout &layout, Rng &rng) const
+    {
+        return evaluateDimm(
+            std::span<const FaultEvent>(events.begin(), events.size()),
+            layout, rng);
+    }
 };
 
 /** The protection configurations evaluated in the paper. */

@@ -74,6 +74,64 @@ keepEarliest(std::optional<SchemeFailure> &best, double time,
         best = SchemeFailure{time, type};
 }
 
+/**
+ * Visit every pair (i < j order) of events that are concurrently
+ * active AND overlap at 64-bit-word granularity -- the shared guard of
+ * all the multi-chip failure rules. @p fn receives (a, b) and applies
+ * the scheme-specific part of the rule (chip distinctness, beat
+ * alignment, kind filters) before recording a failure.
+ */
+template <typename Fn>
+void
+forEachConcurrentWordPair(std::span<const FaultEvent> events,
+                          const AddressLayout &layout, Fn &&fn)
+{
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const auto &a = events[i];
+        for (std::size_t j = i + 1; j < events.size(); ++j) {
+            const auto &b = events[j];
+            if (a.concurrentWith(b) &&
+                intersectAtWord(a.range, b.range, layout))
+                fn(a, b);
+        }
+    }
+}
+
+/**
+ * Visit every triple (i < j < k order) of events on three DISTINCT
+ * chips that are pairwise concurrent and share a word: the pairwise
+ * range refinement ab is intersected with c, which is exactly the
+ * >= 3-chip defeat condition of a 2-chip corrector.
+ */
+template <typename Fn>
+void
+forEachConcurrentWordTriple(std::span<const FaultEvent> events,
+                            const AddressLayout &layout, Fn &&fn)
+{
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const auto &a = events[i];
+        for (std::size_t j = i + 1; j < events.size(); ++j) {
+            const auto &b = events[j];
+            if (chipId(a) == chipId(b))
+                continue;
+            if (!a.concurrentWith(b))
+                continue;
+            const auto ab = intersectRange(a.range, b.range, layout);
+            if (!ab)
+                continue;
+            for (std::size_t k = j + 1; k < events.size(); ++k) {
+                const auto &c = events[k];
+                if (chipId(c) == chipId(a) || chipId(c) == chipId(b))
+                    continue;
+                if (!c.concurrentWith(a) || !c.concurrentWith(b))
+                    continue;
+                if (intersectRange(*ab, c.range, layout))
+                    fn(a, b, c);
+            }
+        }
+    }
+}
+
 /** Base with the shared group machinery. */
 class SchemeBase : public Scheme
 {
@@ -92,17 +150,20 @@ class SchemeBase : public Scheme
     }
 
     std::optional<SchemeFailure>
-    evaluateDimm(const std::vector<FaultEvent> &events,
-                 const AddressLayout &layout, Rng &rng) const override
+    evaluateDimm(std::span<const FaultEvent> events,
+                 const AddressLayout &layout, Rng &rng,
+                 EvalScratch &scratch) const override
     {
         const unsigned groups = 2 / groupRanks_;
-        if (groups == 1) // every rank in one group: no partition needed
+        // No partition needed when every rank shares one group, or when
+        // a single event makes every other group empty (the dominant
+        // faulty-channel case: expected faults per DIMM is ~0.07).
+        if (groups == 1 || events.size() == 1)
             return events.empty()
                        ? std::nullopt
-                       : evaluateGroup(events, layout, rng);
+                       : evaluateGroup(events, layout, rng, scratch);
         std::optional<SchemeFailure> best;
-        std::vector<FaultEvent> groupEvents;
-        groupEvents.reserve(events.size());
+        auto &groupEvents = scratch.group;
         for (unsigned g = 0; g < groups; ++g) {
             groupEvents.clear();
             for (const auto &e : events)
@@ -110,16 +171,23 @@ class SchemeBase : public Scheme
                     groupEvents.push_back(e);
             if (groupEvents.empty())
                 continue;
-            if (const auto f = evaluateGroup(groupEvents, layout, rng))
+            if (const auto f =
+                    evaluateGroup(groupEvents, layout, rng, scratch))
                 keepEarliest(best, f->timeHours, f->type);
         }
         return best;
     }
 
   protected:
+    /**
+     * Evaluate one lockstep group. May use scratch.visible and
+     * scratch.escaped; scratch.group holds the group's events when the
+     * scheme partitions ranks and must not be touched here.
+     */
     virtual std::optional<SchemeFailure>
-    evaluateGroup(const std::vector<FaultEvent> &events,
-                  const AddressLayout &layout, Rng &rng) const = 0;
+    evaluateGroup(std::span<const FaultEvent> events,
+                  const AddressLayout &layout, Rng &rng,
+                  EvalScratch &scratch) const = 0;
 
     OnDieOptions onDie_;
     unsigned chipsPerRank_;
@@ -147,8 +215,9 @@ class NonEccScheme : public SchemeBase
 
   protected:
     std::optional<SchemeFailure>
-    evaluateGroup(const std::vector<FaultEvent> &events,
-                  const AddressLayout &layout, Rng &rng) const override
+    evaluateGroup(std::span<const FaultEvent> events,
+                  const AddressLayout &layout, Rng &rng,
+                  EvalScratch &) const override
     {
         std::optional<SchemeFailure> best;
         for (const auto &e : events) {
@@ -189,8 +258,9 @@ class SecdedScheme : public SchemeBase
 
   protected:
     std::optional<SchemeFailure>
-    evaluateGroup(const std::vector<FaultEvent> &events,
-                  const AddressLayout &layout, Rng &rng) const override
+    evaluateGroup(std::span<const FaultEvent> events,
+                  const AddressLayout &layout, Rng &rng,
+                  EvalScratch &scratch) const override
     {
         std::optional<SchemeFailure> best;
         for (const auto &e : events) {
@@ -207,26 +277,21 @@ class SecdedScheme : public SchemeBase
         if (!onDie_.present) {
             // Without on-die correction, bit-class faults reach the
             // DIMM; two of them in the same word AND beat defeat
-            // SECDED.
-            for (std::size_t i = 0; i < events.size(); ++i) {
-                const auto &a = events[i];
-                if (multiBitPerWord(a.kind))
-                    continue;
-                for (std::size_t j = i + 1; j < events.size(); ++j) {
-                    const auto &b = events[j];
-                    if (multiBitPerWord(b.kind))
-                        continue;
-                    if (a.concurrentWith(b) &&
-                        intersectAtWord(a.range, b.range, layout) &&
-                        beatOf(a.range) == beatOf(b.range)) {
+            // SECDED. Same-chip pairs count too: the codeword sees two
+            // bad bits either way.
+            auto &bitClass = scratch.visible;
+            bitClass.clear();
+            for (const auto &e : events)
+                if (!multiBitPerWord(e.kind))
+                    bitClass.push_back(e);
+            forEachConcurrentWordPair(
+                bitClass, layout, [&](const auto &a, const auto &b) {
+                    if (beatOf(a.range) == beatOf(b.range))
                         keepEarliest(best,
                                      std::max(a.timeHours, b.timeHours),
                                      "due-double-bit");
-                    }
-                }
-            }
+                });
         }
-        (void)rng;
         return best;
     }
 };
@@ -246,8 +311,9 @@ class XedScheme : public SchemeBase
 
   protected:
     std::optional<SchemeFailure>
-    evaluateGroup(const std::vector<FaultEvent> &events,
-                  const AddressLayout &layout, Rng &rng) const override
+    evaluateGroup(std::span<const FaultEvent> events,
+                  const AddressLayout &layout, Rng &rng,
+                  EvalScratch &scratch) const override
     {
         std::optional<SchemeFailure> best;
         for (const auto &e : events) {
@@ -262,23 +328,18 @@ class XedScheme : public SchemeBase
         }
         // Two chips of the same rank with multi-bit faults in the same
         // word: one catch-word/erasure budget is exceeded -> data loss.
-        for (std::size_t i = 0; i < events.size(); ++i) {
-            const auto &a = events[i];
-            if (!multiBitPerWord(a.kind))
-                continue;
-            for (std::size_t j = i + 1; j < events.size(); ++j) {
-                const auto &b = events[j];
-                if (!multiBitPerWord(b.kind))
-                    continue;
-                if (chipId(a) == chipId(b))
-                    continue;
-                if (a.concurrentWith(b) &&
-                    intersectAtWord(a.range, b.range, layout)) {
-                    keepEarliest(best, std::max(a.timeHours, b.timeHours),
+        auto &multiBit = scratch.visible;
+        multiBit.clear();
+        for (const auto &e : events)
+            if (multiBitPerWord(e.kind))
+                multiBit.push_back(e);
+        forEachConcurrentWordPair(
+            multiBit, layout, [&](const auto &a, const auto &b) {
+                if (chipId(a) != chipId(b))
+                    keepEarliest(best,
+                                 std::max(a.timeHours, b.timeHours),
                                  "multi-chip-data-loss");
-                }
-            }
-        }
+            });
         return best;
     }
 };
@@ -300,14 +361,15 @@ class ChipkillScheme : public SchemeBase
 
   protected:
     std::optional<SchemeFailure>
-    evaluateGroup(const std::vector<FaultEvent> &events,
-                  const AddressLayout &layout, Rng &rng) const override
+    evaluateGroup(std::span<const FaultEvent> events,
+                  const AddressLayout &layout, Rng &rng,
+                  EvalScratch &scratch) const override
     {
         // Which events reach the symbol code? Multi-bit faults always;
         // bit-class faults only when there is no on-die ECC, or when
         // they land in a scaling-faulted word.
-        std::vector<FaultEvent> visible;
-        visible.reserve(events.size());
+        auto &visible = scratch.visible;
+        visible.clear();
         for (const auto &e : events) {
             if (multiBitPerWord(e.kind)) {
                 visible.push_back(e);
@@ -320,19 +382,13 @@ class ChipkillScheme : public SchemeBase
             }
         }
         std::optional<SchemeFailure> best;
-        for (std::size_t i = 0; i < visible.size(); ++i) {
-            for (std::size_t j = i + 1; j < visible.size(); ++j) {
-                const auto &a = visible[i];
-                const auto &b = visible[j];
-                if (chipId(a) == chipId(b))
-                    continue;
-                if (a.concurrentWith(b) &&
-                    intersectAtWord(a.range, b.range, layout)) {
-                    keepEarliest(best, std::max(a.timeHours, b.timeHours),
+        forEachConcurrentWordPair(
+            visible, layout, [&](const auto &a, const auto &b) {
+                if (chipId(a) != chipId(b))
+                    keepEarliest(best,
+                                 std::max(a.timeHours, b.timeHours),
                                  "double-chip");
-                }
-            }
-        }
+            });
         return best;
     }
 
@@ -342,36 +398,18 @@ class ChipkillScheme : public SchemeBase
 
 /** Three distinct chips sharing one word defeat a 2-chip corrector. */
 std::optional<SchemeFailure>
-tripleChipRule(const std::vector<FaultEvent> &visible,
+tripleChipRule(std::span<const FaultEvent> visible,
                const AddressLayout &layout)
 {
     std::optional<SchemeFailure> best;
-    for (std::size_t i = 0; i < visible.size(); ++i) {
-        for (std::size_t j = i + 1; j < visible.size(); ++j) {
-            const auto &a = visible[i];
-            const auto &b = visible[j];
-            if (chipId(a) == chipId(b))
-                continue;
-            if (!a.concurrentWith(b))
-                continue;
-            const auto ab = intersectRange(a.range, b.range, layout);
-            if (!ab)
-                continue;
-            for (std::size_t k = j + 1; k < visible.size(); ++k) {
-                const auto &c = visible[k];
-                if (chipId(c) == chipId(a) || chipId(c) == chipId(b))
-                    continue;
-                if (!c.concurrentWith(a) || !c.concurrentWith(b))
-                    continue;
-                if (intersectRange(*ab, c.range, layout)) {
-                    keepEarliest(best,
-                                 std::max({a.timeHours, b.timeHours,
-                                           c.timeHours}),
-                                 "triple-chip");
-                }
-            }
-        }
-    }
+    forEachConcurrentWordTriple(
+        visible, layout,
+        [&](const auto &a, const auto &b, const auto &c) {
+            keepEarliest(best,
+                         std::max({a.timeHours, b.timeHours,
+                                   c.timeHours}),
+                         "triple-chip");
+        });
     return best;
 }
 
@@ -392,11 +430,12 @@ class DoubleChipkillScheme : public SchemeBase
 
   protected:
     std::optional<SchemeFailure>
-    evaluateGroup(const std::vector<FaultEvent> &events,
-                  const AddressLayout &layout, Rng &rng) const override
+    evaluateGroup(std::span<const FaultEvent> events,
+                  const AddressLayout &layout, Rng &rng,
+                  EvalScratch &scratch) const override
     {
-        std::vector<FaultEvent> visible;
-        visible.reserve(events.size());
+        auto &visible = scratch.visible;
+        visible.clear();
         for (const auto &e : events) {
             if (multiBitPerWord(e.kind) || !onDie_.present) {
                 visible.push_back(e);
@@ -430,17 +469,19 @@ class XedChipkillScheme : public SchemeBase
 
   protected:
     std::optional<SchemeFailure>
-    evaluateGroup(const std::vector<FaultEvent> &events,
-                  const AddressLayout &layout, Rng &rng) const override
+    evaluateGroup(std::span<const FaultEvent> events,
+                  const AddressLayout &layout, Rng &rng,
+                  EvalScratch &scratch) const override
     {
         std::optional<SchemeFailure> best;
         // Undetected transient word faults consume the code's implicit
         // t=1 random-error budget; alone they are still corrected, but
         // together with any other faulty chip in the same word the
         // erasure budget is blown (2v + e > 2) -> DUE.
-        std::vector<FaultEvent> escaped;
-        std::vector<FaultEvent> visible;
-        visible.reserve(events.size());
+        auto &escaped = scratch.escaped;
+        auto &visible = scratch.visible;
+        escaped.clear();
+        visible.clear();
         for (const auto &e : events) {
             if (!multiBitPerWord(e.kind))
                 continue; // corrected on-die (catch-word handles it)

@@ -7,6 +7,7 @@
 
 #include <cstdlib>
 #include <gtest/gtest.h>
+#include <stdexcept>
 
 #include "campaign/spec.hh"
 
@@ -202,6 +203,66 @@ TEST(CampaignSpec, EnvOverridesApplyAndAffectTheHash)
     EXPECT_EQ(spec.systems, 60u);
     EXPECT_EQ(spec.seed, 99u);
     EXPECT_NE(specHash(spec), baseHash);
+}
+
+TEST(CampaignSpec, SamplerParsesRoundTripsAndAffectsTheHash)
+{
+    // Knuth is the default and need not be spelled out.
+    const auto def = parseOrDie(kMinimal);
+    EXPECT_EQ(def.sampler, faultsim::PoissonSampler::Knuth);
+
+    const auto inv = parseOrDie(R"({
+        "name": "t", "seed": 7, "schemes": ["xed"],
+        "systems": 100, "shardSystems": 30, "sampler": "invcdf"
+    })");
+    EXPECT_EQ(inv.sampler, faultsim::PoissonSampler::InvCdf);
+    EXPECT_EQ(mcConfigFor(inv, 0).sampler,
+              faultsim::PoissonSampler::InvCdf);
+
+    // Unknown sampler names are rejected, naming the offender.
+    EXPECT_NE(parseError(R"({"name":"t","seed":1,"schemes":["xed"],)"
+                         R"("sampler":"gamma"})")
+                  .find("gamma"),
+              std::string::npos);
+
+    // Switching samplers changes every sampled fault set, so it must
+    // change the hash (and thereby poison cross-sampler resumes).
+    EXPECT_NE(specHash(def), specHash(inv));
+
+    // Canonical JSON spells the sampler out and round-trips it.
+    std::string error;
+    const auto doc = specToJson(inv);
+    EXPECT_NE(json::dump(doc).find("\"sampler\":\"invcdf\""),
+              std::string::npos);
+    auto reparsed = parseSpec(doc, &error);
+    ASSERT_TRUE(reparsed) << error;
+    EXPECT_EQ(reparsed->sampler, faultsim::PoissonSampler::InvCdf);
+    EXPECT_EQ(specHash(*reparsed), specHash(inv));
+}
+
+TEST(CampaignSpec, SamplerEnvOverrideAppliesAndRejectsGarbage)
+{
+    auto spec = parseOrDie(kMinimal);
+    ::setenv("XED_MC_SAMPLER", "invcdf", 1);
+    applyEnvOverrides(spec);
+    ::unsetenv("XED_MC_SAMPLER");
+    EXPECT_EQ(spec.sampler, faultsim::PoissonSampler::InvCdf);
+
+    ::setenv("XED_MC_SAMPLER", "poisson", 1);
+    EXPECT_THROW(applyEnvOverrides(spec), std::runtime_error);
+    ::unsetenv("XED_MC_SAMPLER");
+}
+
+TEST(CampaignSpec, MalformedEnvOverridesThrow)
+{
+    auto spec = parseOrDie(kMinimal);
+    ::setenv("XED_MC_SYSTEMS", "50k", 1);
+    EXPECT_THROW(applyEnvOverrides(spec), std::runtime_error);
+    ::unsetenv("XED_MC_SYSTEMS");
+
+    ::setenv("XED_MC_SEED", "-3", 1);
+    EXPECT_THROW(applyEnvOverrides(spec), std::runtime_error);
+    ::unsetenv("XED_MC_SEED");
 }
 
 TEST(CampaignSpec, ShippedSpecFilesParse)
