@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include <array>
+#include <span>
 
 #include "common/rng.hh"
 #include "ecc/crc8atm.hh"
@@ -112,6 +113,82 @@ BM_Rs1816ErasureDecodeBeat(benchmark::State &state)
     }
 }
 BENCHMARK(BM_Rs1816ErasureDecodeBeat);
+
+void
+BM_Rs1816ScratchErasureDecodeBeat(benchmark::State &state)
+{
+    // The allocation-free beat decode the controllers actually run:
+    // stack buffers + reusable RsScratch, no vector in sight.
+    ReedSolomon rs(18, 16);
+    Rng rng(5);
+    std::array<std::uint8_t, 16> data;
+    for (auto &d : data)
+        d = static_cast<std::uint8_t>(rng.below(256));
+    std::array<std::uint8_t, 18> clean;
+    rs.encode(std::span<const std::uint8_t>(data),
+              std::span<std::uint8_t>(clean));
+    const std::array<unsigned, 2> erasures = {3u, 9u};
+    RsScratch scratch;
+    std::array<std::uint8_t, 18> word;
+    for (auto _ : state) {
+        word = clean;
+        word[3] ^= 0x5A;
+        word[9] ^= 0xC3;
+        benchmark::DoNotOptimize(
+            rs.decode(std::span<std::uint8_t>(word),
+                      std::span<const unsigned>(erasures), scratch));
+    }
+}
+BENCHMARK(BM_Rs1816ScratchErasureDecodeBeat);
+
+void
+BM_Rs1816IsValidCodeword(benchmark::State &state)
+{
+    // Syndrome-only fast path: the common clean-beat check.
+    ReedSolomon rs(18, 16);
+    Rng rng(8);
+    std::vector<std::uint8_t> data(16);
+    for (auto &d : data)
+        d = static_cast<std::uint8_t>(rng.below(256));
+    const auto clean = rs.encode(data);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            rs.isValidCodeword(std::span<const std::uint8_t>(clean)));
+}
+BENCHMARK(BM_Rs1816IsValidCodeword);
+
+void
+BM_Crc8AtmSyndrome(benchmark::State &state)
+{
+    Crc8Atm code;
+    const Word72 word = code.encode(0xDEADBEEF12345678ull);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(code.syndrome(word));
+}
+BENCHMARK(BM_Crc8AtmSyndrome);
+
+template <typename Code>
+void
+BM_DetectManyBatch(benchmark::State &state)
+{
+    // Batched detection over a campaign-sized span (512 words/batch).
+    const Code code;
+    Rng rng(9);
+    std::array<Word72, 512> batch;
+    const Word72 clean = code.encode(0x0123456789ABCDEFull);
+    for (Word72 &word : batch) {
+        word = clean;
+        if (rng.bernoulli(0.7))
+            word.flip(static_cast<unsigned>(rng.below(72)));
+    }
+    const std::span<const Word72> span(batch);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(code.detectMany(span));
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 512);
+}
+BENCHMARK(BM_DetectManyBatch<Hamming7264>);
+BENCHMARK(BM_DetectManyBatch<Crc8Atm>);
 
 void
 BM_XedControllerCleanRead(benchmark::State &state)

@@ -1,23 +1,46 @@
 #!/usr/bin/env sh
-# Measure Monte-Carlo sampling-kernel throughput and record it as
-# BENCH_mc_throughput.json in the repository root.
+# Measure the hot-loop throughput benches and record them in the
+# repository root:
+#   - Monte-Carlo sampling kernel  -> BENCH_mc_throughput.json
+#   - codec kernels (before/after) -> BENCH_codecs.json
 #
-#   scripts/bench_throughput.sh [build-dir]
+#   scripts/bench_throughput.sh [build-dir] [stage]
 #
-# Respects the usual knobs: XED_MC_SYSTEMS (default 1M), XED_MC_SEED,
-# XED_MC_SAMPLER, XED_MC_THREADS, XED_BENCH_REPEATS, and XED_BENCH_OUT
-# for the output path (default: <repo>/BENCH_mc_throughput.json).
+# stage: "mc", "codecs", or "all" (default). Respects the usual knobs:
+# XED_MC_SYSTEMS (default 1M), XED_MC_SEED, XED_MC_SAMPLER,
+# XED_MC_THREADS for the mc stage; XED_CODEC_OPS (default 150k) for
+# the codec stage; XED_BENCH_REPEATS for both. XED_BENCH_OUT overrides
+# the output path, but only when a single stage is selected.
 set -eu
 
 repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build=${1:-"$repo/build"}
-bench="$build/bench/mc_throughput"
+stage=${2:-all}
 
-if [ ! -x "$bench" ]; then
-    echo "bench_throughput: $bench not built yet; run" >&2
-    echo "  cmake -B \"$build\" -S \"$repo\" && cmake --build \"$build\" --target mc_throughput" >&2
-    exit 1
-fi
+run_stage() {
+    bench="$build/bench/$1"
+    out=$2
+    if [ ! -x "$bench" ]; then
+        echo "bench_throughput: $bench not built yet; run" >&2
+        echo "  cmake -B \"$build\" -S \"$repo\" && cmake --build \"$build\" --target $1" >&2
+        exit 1
+    fi
+    XED_BENCH_OUT="$out" "$bench"
+}
 
-XED_BENCH_OUT=${XED_BENCH_OUT:-"$repo/BENCH_mc_throughput.json"} \
-    exec "$bench"
+case "$stage" in
+mc)
+    run_stage mc_throughput "${XED_BENCH_OUT:-"$repo/BENCH_mc_throughput.json"}"
+    ;;
+codecs)
+    run_stage codec_throughput "${XED_BENCH_OUT:-"$repo/BENCH_codecs.json"}"
+    ;;
+all)
+    run_stage mc_throughput "$repo/BENCH_mc_throughput.json"
+    run_stage codec_throughput "$repo/BENCH_codecs.json"
+    ;;
+*)
+    echo "bench_throughput: unknown stage \"$stage\" (mc|codecs|all)" >&2
+    exit 2
+    ;;
+esac

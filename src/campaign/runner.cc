@@ -1,6 +1,7 @@
 #include "campaign/runner.hh"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdlib>
@@ -59,41 +60,6 @@ makeCode(const std::string &name)
     return std::make_unique<ecc::Hamming7264>();
 }
 
-/**
- * Detection shard: trials [task.begin, task.end) of one
- * (code, pattern, weight) cell. Each shard draws from its own
- * counter-based stream keyed by (cell, shard ordinal), so results are
- * independent of thread count and resumable at shard granularity.
- */
-ShardResult
-runDetectionShard(const CampaignSpec &spec, const ShardTask &task,
-                  faultsim::McProgress *progress)
-{
-    const DetectionCell cell = detectionCell(spec, task.cell);
-    const auto code = makeCode(cell.code);
-    const ecc::Word72 clean = code->encode(0x0123456789ABCDEFull);
-    const std::uint64_t shardOrdinal = task.begin / spec.shardTrials;
-    Rng rng = Rng::stream(spec.seed,
-                          (static_cast<std::uint64_t>(task.cell) << 40) +
-                              shardOrdinal);
-    ShardResult out;
-    out.trials = task.end - task.begin;
-    for (std::uint64_t t = task.begin; t < task.end; ++t) {
-        const ecc::Word72 error =
-            cell.burst ? ecc::solidBurstPattern(rng, cell.weight)
-                       : ecc::randomPattern(rng, cell.weight);
-        if (!code->isValidCodeword(clean ^ error))
-            ++out.detected;
-    }
-    if (progress) {
-        progress->systemsDone.fetch_add(out.trials,
-                                        std::memory_order_relaxed);
-        progress->failedSystems.fetch_add(out.trials - out.detected,
-                                          std::memory_order_relaxed);
-    }
-    return out;
-}
-
 ShardResult
 runReliabilityShard(const CampaignSpec &spec, const ShardTask &task,
                     faultsim::McProgress *progress)
@@ -126,6 +92,48 @@ sweepValueJson(const CampaignSpec &spec, unsigned point)
 }
 
 } // namespace
+
+ShardResult
+runDetectionShard(const CampaignSpec &spec, const ShardTask &task,
+                  faultsim::McProgress *progress)
+{
+    const DetectionCell cell = detectionCell(spec, task.cell);
+    const auto code = makeCode(cell.code);
+    const ecc::Word72 clean = code->encode(0x0123456789ABCDEFull);
+    const std::uint64_t shardOrdinal = task.begin / spec.shardTrials;
+    Rng rng = Rng::stream(spec.seed,
+                          (static_cast<std::uint64_t>(task.cell) << 40) +
+                              shardOrdinal);
+    ShardResult out;
+    out.trials = task.end - task.begin;
+    // Stream the shard through the batched kernel: fill a stack batch
+    // of error patterns (consuming the RNG in exactly the scalar
+    // per-trial order), turn them into received words, count
+    // non-codewords in one detectMany pass.
+    constexpr std::size_t batchSize = 512;
+    std::array<ecc::Word72, batchSize> batch;
+    std::uint64_t remaining = out.trials;
+    while (remaining > 0) {
+        const std::size_t count = static_cast<std::size_t>(
+            std::min<std::uint64_t>(remaining, batchSize));
+        const std::span<ecc::Word72> span(batch.data(), count);
+        if (cell.burst)
+            ecc::solidBurstPatternsInto(rng, cell.weight, span);
+        else
+            ecc::randomPatternsInto(rng, cell.weight, span);
+        for (ecc::Word72 &word : span)
+            word = clean ^ word;
+        out.detected += code->detectMany(span);
+        remaining -= count;
+    }
+    if (progress) {
+        progress->systemsDone.fetch_add(out.trials,
+                                        std::memory_order_relaxed);
+        progress->failedSystems.fetch_add(out.trials - out.detected,
+                                          std::memory_order_relaxed);
+    }
+    return out;
+}
 
 json::Value
 summaryRecord(const CampaignSpec &spec,

@@ -80,6 +80,20 @@ struct RunOutcome
 RunOutcome runCampaign(const CampaignSpec &spec,
                        const RunOptions &options);
 
+/**
+ * Detection shard: trials [task.begin, task.end) of one
+ * (code, pattern, weight) cell, streamed through the batched
+ * Code::detectMany kernel on stack scratch (no steady-state
+ * allocation after the code object is built). Each shard draws from
+ * its own counter-based stream keyed by (cell, shard ordinal), so
+ * results are independent of thread count and batching, and resumable
+ * at shard granularity. Exposed for the allocation and throughput
+ * tests; campaign workers call it through runCampaign().
+ */
+ShardResult runDetectionShard(const CampaignSpec &spec,
+                              const ShardTask &task,
+                              faultsim::McProgress *progress);
+
 /** The deterministic summary record appended after the last shard. */
 json::Value summaryRecord(const CampaignSpec &spec,
                           const std::vector<CellSummary> &cells);

@@ -8,7 +8,9 @@
 #ifndef XED_ECC_CODE_HH
 #define XED_ECC_CODE_HH
 
+#include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
 
 #include "ecc/word72.hh"
@@ -68,6 +70,21 @@ class Secded7264
 
     /** Extract the data bits of a codeword without decoding. */
     virtual std::uint64_t extractData(const Word72 &word) const = 0;
+
+    /**
+     * Batched detection kernel: the number of words in @p received that
+     * are NOT valid codewords. Semantically identical to looping
+     * isValidCodeword(); codes override it with a branch-light
+     * syndrome-only loop for the campaign hot paths. No allocation.
+     */
+    virtual std::size_t
+    detectMany(std::span<const Word72> received) const
+    {
+        std::size_t detected = 0;
+        for (const Word72 &word : received)
+            detected += !isValidCodeword(word);
+        return detected;
+    }
 };
 
 } // namespace xed::ecc

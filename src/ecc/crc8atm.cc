@@ -15,6 +15,15 @@ Crc8Atm::Crc8Atm()
         table_[b] = r;
     }
 
+    // Slice tables: slice 0 is the identity (a byte at degrees 0..7 is
+    // already reduced); each further slice shifts one more byte, i.e.
+    // applies the byte-at-a-time table once.
+    for (unsigned b = 0; b < 256; ++b)
+        slice_[0][b] = static_cast<std::uint8_t>(b);
+    for (unsigned k = 1; k < slice_.size(); ++k)
+        for (unsigned b = 0; b < 256; ++b)
+            slice_[k][b] = slice_[k - 1][table_[b]];
+
     // Syndrome of a single-bit error at codeword position p (degree p
     // coefficient): x^p mod g(x).
     singleBitPos_.fill(0);
@@ -29,17 +38,6 @@ Crc8Atm::Crc8Atm()
     }
 }
 
-std::uint8_t
-Crc8Atm::crc(std::uint64_t data) const
-{
-    // Process the 64 data bits MSB-first; the implicit * x^8 shift is
-    // provided by the table formulation.
-    std::uint8_t r = 0;
-    for (int byte = 7; byte >= 0; --byte)
-        r = table_[r ^ static_cast<std::uint8_t>(data >> (8 * byte))];
-    return r;
-}
-
 Word72
 Crc8Atm::encode(std::uint64_t data) const
 {
@@ -51,26 +49,13 @@ Crc8Atm::encode(std::uint64_t data) const
     return word;
 }
 
-std::uint64_t
-Crc8Atm::extractData(const Word72 &word) const
+std::size_t
+Crc8Atm::detectMany(std::span<const Word72> received) const
 {
-    return (static_cast<std::uint64_t>(word.hi) << 56) | (word.lo >> 8);
-}
-
-std::uint8_t
-Crc8Atm::syndrome(const Word72 &received) const
-{
-    // The received 72-bit polynomial is valid iff divisible by g(x).
-    // Equivalently: CRC(data) ^ receivedCheck, since the code is
-    // systematic.
-    return static_cast<std::uint8_t>(crc(extractData(received)) ^
-                                     (received.lo & 0xFF));
-}
-
-bool
-Crc8Atm::isValidCodeword(const Word72 &received) const
-{
-    return syndrome(received) == 0;
+    std::size_t detected = 0;
+    for (const Word72 &word : received)
+        detected += syndrome(word) != 0;
+    return detected;
 }
 
 DecodeResult

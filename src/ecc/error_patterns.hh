@@ -7,6 +7,8 @@
 #ifndef XED_ECC_ERROR_PATTERNS_HH
 #define XED_ECC_ERROR_PATTERNS_HH
 
+#include <span>
+
 #include "common/rng.hh"
 #include "ecc/word72.hh"
 
@@ -30,6 +32,17 @@ Word72 burstPattern(Rng &rng, unsigned length);
  * (about half of all aligned 4-bursts have a zero syndrome).
  */
 Word72 solidBurstPattern(Rng &rng, unsigned length);
+
+/**
+ * Batched generators: fill @p out with patterns, drawing from @p rng in
+ * exactly the per-pattern order of the scalar functions above, so a
+ * batched campaign consumes the identical RNG stream (and therefore
+ * produces byte-identical result stores). No allocation.
+ */
+void randomPatternsInto(Rng &rng, unsigned weight, std::span<Word72> out);
+void burstPatternsInto(Rng &rng, unsigned length, std::span<Word72> out);
+void solidBurstPatternsInto(Rng &rng, unsigned length,
+                            std::span<Word72> out);
 
 } // namespace xed::ecc
 

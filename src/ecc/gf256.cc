@@ -15,6 +15,12 @@ GF256::GF256()
     }
     exp_[groupOrder] = exp_[0];
     log_[0] = 0; // unused; callers must not take log of zero
+
+    // Full product table from the log/exp pair. Row 0 and column 0
+    // stay zero from value-initialization.
+    for (unsigned a = 1; a < 256; ++a)
+        for (unsigned b = 1; b < 256; ++b)
+            mul_[a][b] = exp_[(log_[a] + log_[b]) % groupOrder];
 }
 
 const GF256 &

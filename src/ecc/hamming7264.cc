@@ -155,6 +155,22 @@ Hamming7264::isValidCodeword(const Word72 &received) const
     return syndrome(received) == 0;
 }
 
+std::size_t
+Hamming7264::detectMany(std::span<const Word72> received) const
+{
+    std::size_t detected = 0;
+    for (const Word72 &word : received) {
+        std::uint8_t s = synTable_[8][word.hi];
+        std::uint64_t lo = word.lo;
+        for (unsigned lane = 0; lane < 8; ++lane) {
+            s ^= synTable_[lane][lo & 0xFF];
+            lo >>= 8;
+        }
+        detected += s != 0;
+    }
+    return detected;
+}
+
 std::uint64_t
 Hamming7264::extractData(const Word72 &word) const
 {

@@ -32,6 +32,7 @@ class Hamming7264 : public Secded7264
     DecodeResult decode(const Word72 &received) const override;
     bool isValidCodeword(const Word72 &received) const override;
     std::uint64_t extractData(const Word72 &word) const override;
+    std::size_t detectMany(std::span<const Word72> received) const override;
 
     /** 8-bit syndrome of a received word (0 iff valid). */
     std::uint8_t syndrome(const Word72 &received) const;

@@ -1,5 +1,9 @@
 #include "xed/chipkill_controller.hh"
 
+#include <array>
+#include <span>
+#include <stdexcept>
+
 namespace xed
 {
 
@@ -8,6 +12,10 @@ ChipkillController::ChipkillController(const ChipkillConfig &config)
       rs_(config.dataChips + config.checkChips, config.dataChips),
       rng_(config.seed)
 {
+    if (!rs_.fitsScratch())
+        throw std::invalid_argument(
+            "ChipkillController: module shape exceeds the RS scratch "
+            "kernel (n <= 36, n-k <= 4)");
     for (unsigned i = 0; i < numChips(); ++i) {
         chips_.push_back(std::make_unique<dram::Chip>(
             config_.geometry, onDieCode_, rng_.next()));
@@ -25,13 +33,17 @@ ChipkillController::ChipkillController(const ChipkillConfig &config)
                 const auto addr =
                     dram::unpackWordAddr(config_.geometry, packed);
                 const unsigned k = config_.dataChips;
-                std::vector<std::uint8_t> symbols(k);
+                std::array<std::uint8_t, maxChipkillChips> symbols;
+                std::array<std::uint8_t, maxChipkillChips> codeword;
                 std::uint64_t word = 0;
                 for (unsigned beat = 0; beat < 8; ++beat) {
                     for (unsigned i = 0; i < k; ++i)
                         symbols[i] = static_cast<std::uint8_t>(
                             chips_[i]->expectedData(addr) >> (8 * beat));
-                    const auto codeword = rs_.encode(symbols);
+                    rs_.encode(
+                        std::span<const std::uint8_t>(symbols.data(), k),
+                        std::span<std::uint8_t>(codeword.data(),
+                                                rs_.n()));
                     word |= static_cast<std::uint64_t>(codeword[k + j])
                             << (8 * beat);
                 }
@@ -47,13 +59,15 @@ ChipkillController::writeLine(const dram::WordAddr &addr,
     counters_.inc("writes");
     const unsigned k = config_.dataChips;
     // Encode beat-by-beat: byte b of each chip's word is one RS symbol.
-    std::vector<std::uint64_t> checkWords(config_.checkChips, 0);
-    std::vector<std::uint8_t> symbols(k);
+    std::array<std::uint64_t, maxChipkillChips> checkWords{};
+    std::array<std::uint8_t, maxChipkillChips> symbols;
+    std::array<std::uint8_t, maxChipkillChips> codeword;
     for (unsigned beat = 0; beat < 8; ++beat) {
         for (unsigned i = 0; i < k; ++i)
             symbols[i] =
                 static_cast<std::uint8_t>(data[i] >> (8 * beat));
-        const auto codeword = rs_.encode(symbols);
+        rs_.encode(std::span<const std::uint8_t>(symbols.data(), k),
+                   std::span<std::uint8_t>(codeword.data(), rs_.n()));
         for (unsigned j = 0; j < config_.checkChips; ++j)
             checkWords[j] |= static_cast<std::uint64_t>(codeword[k + j])
                              << (8 * beat);
@@ -71,8 +85,8 @@ ChipkillController::readLine(const dram::WordAddr &addr)
     const unsigned k = config_.dataChips;
     const unsigned n = numChips();
 
-    std::vector<std::uint64_t> values(n);
-    std::vector<unsigned> erasures;
+    std::array<std::uint64_t, maxChipkillChips> values;
+    InlineVec<unsigned, maxChipkillChips> erasures;
     for (unsigned i = 0; i < n; ++i) {
         values[i] = chips_[i]->read(addr).value;
         if (config_.useCatchWordErasures && values[i] == catchWords_[i])
@@ -85,21 +99,29 @@ ChipkillController::readLine(const dram::WordAddr &addr)
         // More located failures than check symbols: uncorrectable.
         counters_.inc("uncorrectable");
         result.outcome = ChipkillOutcome::Uncorrectable;
-        result.data.assign(values.begin(), values.begin() + k);
+        for (unsigned i = 0; i < k; ++i)
+            result.data.push_back(values[i]);
         return result;
     }
 
-    std::vector<std::uint8_t> received(n);
+    std::array<std::uint8_t, maxChipkillChips> received;
+    const std::span<const unsigned> erasureSpan(erasures.data(),
+                                                erasures.size());
+    ecc::RsScratch scratch;
     bool anyCorrected = false;
     for (unsigned beat = 0; beat < 8; ++beat) {
         for (unsigned i = 0; i < n; ++i)
             received[i] =
                 static_cast<std::uint8_t>(values[i] >> (8 * beat));
-        const auto rsResult = rs_.decode(received, erasures);
+        const auto rsResult =
+            rs_.decode(std::span<std::uint8_t>(received.data(), n),
+                       erasureSpan, scratch);
         if (rsResult.status == ecc::RsStatus::Failure) {
             counters_.inc("uncorrectable");
             result.outcome = ChipkillOutcome::Uncorrectable;
-            result.data.assign(values.begin(), values.begin() + k);
+            result.data.clear();
+            for (unsigned i = 0; i < k; ++i)
+                result.data.push_back(values[i]);
             return result;
         }
         if (rsResult.status == ecc::RsStatus::Corrected ||
@@ -118,7 +140,8 @@ ChipkillController::readLine(const dram::WordAddr &addr)
                                   : ChipkillOutcome::Clean;
     if (anyCorrected)
         counters_.inc("corrected");
-    result.data.assign(values.begin(), values.begin() + k);
+    for (unsigned i = 0; i < k; ++i)
+        result.data.push_back(values[i]);
     return result;
 }
 

@@ -22,6 +22,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/inline_vec.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "dram/chip.hh"
@@ -38,11 +39,15 @@ enum class ChipkillOutcome
     Uncorrectable,
 };
 
+/** Widest supported module: Double-Chipkill's 32 data + 4 check chips. */
+inline constexpr unsigned maxChipkillChips = ecc::RsScratch::maxN;
+
 struct ChipkillReadResult
 {
-    std::vector<std::uint64_t> data; ///< one word per data chip
+    /** One word per data chip; inline storage, no allocation. */
+    InlineVec<std::uint64_t, maxChipkillChips> data;
     ChipkillOutcome outcome = ChipkillOutcome::Clean;
-    std::vector<unsigned> catchWordChips;
+    InlineVec<unsigned, maxChipkillChips> catchWordChips;
     unsigned beatsCorrected = 0;
 };
 

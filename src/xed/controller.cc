@@ -265,7 +265,7 @@ XedController::readLine(const dram::WordAddr &addr)
 
     // Two or more catch-words: serial mode (Section VII-B).
     counters_.inc("serial_mode");
-    std::vector<unsigned> flagged;
+    InlineVec<unsigned, numChips> flagged;
     for (unsigned i = 0; i < numChips; ++i)
         if (bus.isCatchWord[i])
             flagged.push_back(i);

@@ -35,6 +35,7 @@
 #include <span>
 #include <vector>
 
+#include "common/inline_vec.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "dram/chip.hh"
@@ -64,7 +65,7 @@ struct LineReadResult
     std::array<std::uint64_t, 8> data{};
     ReadOutcome outcome = ReadOutcome::Clean;
     /** Chips whose transmitted value matched their catch-word. */
-    std::vector<unsigned> catchWordChips;
+    InlineVec<unsigned, 9> catchWordChips;
     /** Chip rebuilt from parity, if any (8 = parity chip). */
     std::optional<unsigned> rebuiltChip;
 

@@ -34,6 +34,9 @@ class FaultyRowChipTracker
     explicit FaultyRowChipTracker(unsigned capacity = 8)
         : capacity_(capacity)
     {
+        // One up-front allocation; record()'s push_back / FIFO erase
+        // never reallocate, keeping diagnosis allocation-free.
+        entries_.reserve(capacity_);
     }
 
     unsigned capacity() const { return capacity_; }

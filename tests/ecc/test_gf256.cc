@@ -60,6 +60,51 @@ TEST_F(GfTest, EveryNonzeroElementHasInverse)
     }
 }
 
+TEST_F(GfTest, MulRowPtrMatchesMul)
+{
+    for (unsigned c = 0; c < 256; ++c) {
+        const std::uint8_t *row =
+            gf.mulRowPtr(static_cast<std::uint8_t>(c));
+        for (unsigned x = 0; x < 256; ++x)
+            ASSERT_EQ(row[x], gf.mul(static_cast<std::uint8_t>(c),
+                                     static_cast<std::uint8_t>(x)));
+    }
+}
+
+TEST_F(GfTest, FullMulTableMatchesCarrylessReference)
+{
+    // Exhaustive 256x256 cross-check of the product table against an
+    // independent shift-and-reduce multiply.
+    auto refMul = [](std::uint8_t a, std::uint8_t b) {
+        unsigned acc = 0;
+        for (int i = 0; i < 8; ++i)
+            if ((b >> i) & 1)
+                acc ^= static_cast<unsigned>(a) << i;
+        for (int bit = 15; bit >= 8; --bit)
+            if ((acc >> bit) & 1)
+                acc ^= GF256::fieldPoly << (bit - 8);
+        return static_cast<std::uint8_t>(acc);
+    };
+    for (unsigned a = 0; a < 256; ++a)
+        for (unsigned b = 0; b < 256; ++b)
+            ASSERT_EQ(gf.mul(static_cast<std::uint8_t>(a),
+                             static_cast<std::uint8_t>(b)),
+                      refMul(static_cast<std::uint8_t>(a),
+                             static_cast<std::uint8_t>(b)))
+                << a << " * " << b;
+}
+
+TEST_F(GfTest, DivByZeroIsRejected)
+{
+    // Regression: div(a, 0) used to read the undefined log_[0] entry
+    // and silently return garbage. The precondition is now enforced
+    // (in release builds too).
+    for (unsigned a : {0u, 1u, 2u, 0x53u, 0xFFu})
+        EXPECT_THROW(gf.div(static_cast<std::uint8_t>(a), 0),
+                     std::domain_error)
+            << "div(" << a << ", 0)";
+}
+
 TEST_F(GfTest, DivConsistentWithMul)
 {
     Rng rng(2);
