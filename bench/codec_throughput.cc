@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "bench/bench_util.hh"
+#include "common/build_info.hh"
 #include "common/json.hh"
 #include "common/rng.hh"
 #include "ecc/crc8atm.hh"
@@ -341,6 +342,7 @@ try {
         doc.set("bench", "codec_throughput");
         doc.set("base_ops", baseOps);
         doc.set("repeats", repeats);
+        doc.set("build", buildInfoJson());
         doc.set("results", std::move(jsonResults));
         auto geo = json::Value::object();
         geo.set("rs_decode", rsGeomean);

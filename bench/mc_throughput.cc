@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "bench/bench_util.hh"
+#include "common/build_info.hh"
 #include "common/json.hh"
 #include "faultsim/engine.hh"
 
@@ -121,6 +122,7 @@ try {
         doc.set("seed", cfg.seed);
         doc.set("sampler", poissonSamplerName(cfg.sampler));
         doc.set("repeats", repeats);
+        doc.set("build", buildInfoJson());
         doc.set("results", std::move(results));
         std::ofstream out(outPath, std::ios::binary | std::ios::trunc);
         if (!out) {

@@ -1,9 +1,13 @@
 #!/bin/sh
-# Build the tree with ThreadSanitizer and run the campaign suite plus
-# the CLI smoke spec. The runner's worker pool, progress thread and
-# metrics registry are the only cross-thread code in the repo, so
-#   ctest -L campaign
-# under TSan covers every lock and atomic the campaign added.
+# Build the tree with ThreadSanitizer and run the campaign and
+# observability suites plus the CLI smoke specs. The runner's worker
+# pool, progress thread, metrics registry (counters and histograms)
+# and the trace recorder are the only cross-thread code in the repo,
+# so
+#   ctest -L 'campaign|obs'
+# under TSan covers every lock and atomic they added. A final
+# tracing-enabled campaign run races the span recorder against the
+# worker pool and the progress sampler on purpose.
 #
 # Usage: scripts/check_campaign_tsan.sh [build-dir]   (default: build-tsan)
 set -eu
@@ -15,8 +19,17 @@ jobs=$(nproc 2>/dev/null || echo 2)
 cmake -S "$repo" -B "$build" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DXED_SANITIZE=thread
 cmake --build "$build" -j "$jobs" \
-    --target test_campaign xed_campaign_cli
+    --target test_campaign test_obs xed_campaign_cli
 
-(cd "$build" && ctest -L campaign --output-on-failure -j "$jobs")
+(cd "$build" && ctest -L 'campaign|obs' --output-on-failure -j "$jobs")
+
+# Multi-threaded campaign with the recorder on: worker spans, store
+# spans and the telemetry sampler all write while progress is live.
+out="$build/tsan_trace_smoke.jsonl"
+rm -f "$out" "$out.trace.json" "$out.forensics.jsonl" \
+    "$out.telemetry.jsonl"
+XED_TRACE=1 "$build/src/campaign/xed_campaign" run \
+    "$repo/specs/smoke.json" --out "$out" --threads 4 \
+    --progress-interval 0.05 --quiet >/dev/null
 
 echo "campaign TSan check passed"

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Failure-forensics sidecar for campaign runs.
+ *
+ * Reliability campaigns attribute every failed system (failure class,
+ * contributing fault kinds, detection outcome -- see obs/forensics.hh)
+ * but the result store's bytes are a pure function of the spec and
+ * must stay that way. Forensics therefore stream to their own JSONL
+ * sidecar, `<out>.forensics.jsonl`:
+ *
+ *   {"type":"forensics","index":i,"point":p,"cell":c,
+ *    "failures":{"sdc":{kinds:count,...},"due":{...}},
+ *    "outcomes":{outcome:count,...},
+ *    "autopsy":[{"system":...,"timeHours":...,"type":...,
+ *                "kinds":...,"class":...,"outcome":...},...]}  per shard
+ *   {"type":"forensics-summary","point":p,"cell":c,"label":...,
+ *    "failures":...,"outcomes":...}                 per cell, when done
+ *
+ * Kind sets are '+'-joined fault-kind names in ascending granularity
+ * order ("single-bit+single-row"); autopsy arrays are the engine's
+ * capped exemplar records. Shard records are written in plan order
+ * immediately BEFORE the corresponding store record, so after a kill
+ * the sidecar covers at least the store's shard prefix; resume
+ * truncates it back to exactly that prefix and appends. A sidecar
+ * that cannot cover the prefix (deleted, damaged) disables forensics
+ * for the resumed run -- replayed store records carry no attribution
+ * to rebuild it from.
+ */
+
+#ifndef XED_CAMPAIGN_FORENSICS_HH
+#define XED_CAMPAIGN_FORENSICS_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "campaign/spec.hh"
+#include "common/json.hh"
+#include "faultsim/engine.hh"
+#include "obs/forensics.hh"
+
+namespace xed::campaign
+{
+
+/** Sidecar path for a result store: `<storePath>.forensics.jsonl`. */
+std::string forensicsPath(const std::string &storePath);
+
+/** '+'-joined kind names, ascending bit order; "none" for mask 0. */
+std::string kindsMaskName(unsigned mask);
+/** Inverse of kindsMaskName; nullopt for an unknown kind name. */
+std::optional<unsigned> kindsMaskFromName(const std::string &name);
+
+/** The "failures"/"outcomes" payload of an attribution (nonzero
+ *  entries only, deterministic order). */
+json::Value attributionJson(const obs::FailureAttribution &attribution);
+
+/** One per-shard sidecar record (attribution + autopsy exemplars). */
+json::Value forensicsShardRecord(const ShardTask &task,
+                                 const faultsim::McResult &mc);
+
+/** One per-cell summary record appended when the campaign completes. */
+json::Value forensicsSummaryRecord(unsigned point, unsigned cell,
+                                   const std::string &label,
+                                   const faultsim::McResult &mc);
+
+/** What loadForensics() recovered from an existing sidecar. */
+struct LoadedForensics
+{
+    bool ok = false;
+    std::string error;
+    /** Per-shard records forming the plan prefix [0, shardRecords). */
+    std::uint64_t shardRecords = 0;
+    /** Byte offset where the last valid per-shard record ends; resume
+     *  truncates here (dropping summaries / a torn line) to append. */
+    long long validBytes = 0;
+    /** validBytes after exactly the first n shard records, n <=
+     *  shardRecords -- the truncation point when the store replayed
+     *  fewer shards than the sidecar holds. */
+    std::vector<long long> bytesAfterShard;
+    /** Decoded per-shard attributions, indexed like bytesAfterShard;
+     *  resume merges the replayed prefix back into the cell results. */
+    std::vector<obs::FailureAttribution> attributions;
+};
+
+/** Read and validate a sidecar: per-shard records must be in plan
+ *  order from index 0. A torn final line is tolerated. */
+LoadedForensics loadForensics(const std::string &path);
+
+/**
+ * Aggregate a sidecar's shard records per (point, cell) and render
+ * attribution tables (class x kind set, detection outcomes, autopsy
+ * exemplars). Returns false only when the sidecar exists but cannot
+ * be parsed; a missing sidecar prints nothing and returns true.
+ */
+bool printForensics(const std::string &storePath,
+                    const CampaignSpec &spec, const Plan &plan,
+                    std::ostream &os, std::string *error);
+
+} // namespace xed::campaign
+
+#endif // XED_CAMPAIGN_FORENSICS_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <filesystem>
@@ -14,12 +15,14 @@
 #include <stdexcept>
 #include <thread>
 
+#include "campaign/forensics.hh"
 #include "campaign/telemetry.hh"
 #include "common/env.hh"
 #include "common/table.hh"
 #include "ecc/crc8atm.hh"
 #include "ecc/error_patterns.hh"
 #include "ecc/hamming7264.hh"
+#include "obs/trace.hh"
 
 namespace xed::campaign
 {
@@ -114,6 +117,8 @@ runDetectionShard(const CampaignSpec &spec, const ShardTask &task,
     std::array<ecc::Word72, batchSize> batch;
     std::uint64_t remaining = out.trials;
     while (remaining > 0) {
+        XED_TRACE_SPAN_ARG("detect.batch", "ecc", "remaining",
+                           remaining);
         const std::size_t count = static_cast<std::size_t>(
             std::min<std::uint64_t>(remaining, batchSize));
         const std::span<ecc::Word72> span(batch.data(), count);
@@ -199,6 +204,9 @@ RunOutcome
 runCampaign(const CampaignSpec &spec, const RunOptions &options)
 {
     RunOutcome outcome;
+    if (options.trace)
+        obs::TraceRecorder::instance().setEnabled(true);
+    XED_TRACE_SPAN("campaign.run", "campaign");
     const Plan plan = buildPlan(spec);
     const std::string hash = specHash(spec);
 
@@ -259,6 +267,44 @@ runCampaign(const CampaignSpec &spec, const RunOptions &options)
         }
     }
 
+    // -- Forensics sidecar: written alongside the store, shard record
+    // i flushed strictly BEFORE store record i, so after a kill the
+    // sidecar always covers the store's shard prefix. On resume it is
+    // truncated back to exactly that prefix; a sidecar that cannot
+    // cover the prefix (deleted, foreign, torn early) is discarded and
+    // forensics disabled for the run, because replayed store records
+    // carry no attribution to rebuild it from.
+    StoreWriter forensicsWriter;
+    bool useForensics = useStore && options.forensicsSidecar &&
+                        spec.kind == CampaignKind::Reliability;
+    if (useForensics) {
+        const std::string sidecar = forensicsPath(options.outPath);
+        if (firstPending == 0) {
+            if (!forensicsWriter.open(sidecar, -1, &outcome.error))
+                return outcome;
+        } else {
+            const LoadedForensics loaded = loadForensics(sidecar);
+            if (!loaded.ok || loaded.shardRecords < firstPending) {
+                std::error_code ec;
+                std::filesystem::remove(sidecar, ec);
+                useForensics = false;
+            } else {
+                for (std::uint64_t i = 0; i < firstPending; ++i) {
+                    const ShardTask &task = plan.tasks[i];
+                    outcome.cells[task.point * plan.cells + task.cell]
+                        .result.mc.attribution.merge(
+                            loaded.attributions[i]);
+                }
+                if (!forensicsWriter.open(
+                        sidecar,
+                        loaded.bytesAfterShard[firstPending - 1],
+                        &outcome.error))
+                    return outcome;
+            }
+        }
+    }
+    outcome.forensicsWritten = useForensics;
+
     // maxShards counts shard *records* (replayed included), so "run 2,
     // kill, resume to 5" composes the way an interrupt does.
     const std::uint64_t limit =
@@ -309,6 +355,13 @@ runCampaign(const CampaignSpec &spec, const RunOptions &options)
     std::mutex mutex;
     std::condition_variable readyCv;
     std::map<std::uint64_t, ShardResult> ready;
+    std::string workerError; ///< first failure; guarded by mutex
+
+    // Shard-time distributions feed the telemetry quantiles. The
+    // references are resolved once here so workers never touch the
+    // registry mutex on the hot path.
+    Histogram &shardSeconds = registry.histogram("shard.seconds");
+    Histogram &shardRate = registry.histogram("shard.unitsPerSec");
 
     std::vector<std::thread> workers;
     workers.reserve(threads);
@@ -319,17 +372,51 @@ runCampaign(const CampaignSpec &spec, const RunOptions &options)
                     next.fetch_add(1, std::memory_order_relaxed);
                 if (i >= limit)
                     break;
-                ShardResult result =
-                    spec.kind == CampaignKind::Reliability
-                        ? runReliabilityShard(spec, plan.tasks[i],
-                                              &progress)
-                        : runDetectionShard(spec, plan.tasks[i],
-                                            &progress);
-                {
-                    std::lock_guard<std::mutex> lock(mutex);
-                    ready.emplace(i, std::move(result));
+                // A throwing shard (bad spec interaction, OOM) must
+                // not terminate the process: surface the first error,
+                // wake the drain loop, and unwind cleanly so the
+                // reporter can emit its "aborted" record.
+                try {
+                    const ShardTask &task = plan.tasks[i];
+                    ShardResult result;
+                    const auto t0 = std::chrono::steady_clock::now();
+                    {
+                        XED_TRACE_SPAN_ARG(
+                            spec.kind == CampaignKind::Reliability
+                                ? "reliability-shard"
+                                : "detection-shard",
+                            "campaign", "index", i);
+                        result =
+                            spec.kind == CampaignKind::Reliability
+                                ? runReliabilityShard(spec, task,
+                                                      &progress)
+                                : runDetectionShard(spec, task,
+                                                    &progress);
+                    }
+                    const double dt =
+                        std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+                    shardSeconds.update(dt);
+                    if (dt > 0)
+                        shardRate.update(
+                            static_cast<double>(task.end - task.begin) /
+                            dt);
+                    {
+                        std::lock_guard<std::mutex> lock(mutex);
+                        ready.emplace(i, std::move(result));
+                    }
+                    readyCv.notify_one();
+                } catch (const std::exception &e) {
+                    {
+                        std::lock_guard<std::mutex> lock(mutex);
+                        if (workerError.empty())
+                            workerError = e.what();
+                    }
+                    abort.store(true);
+                    readyCv.notify_all();
+                    break;
                 }
-                readyCv.notify_one();
             }
         });
     }
@@ -340,15 +427,26 @@ runCampaign(const CampaignSpec &spec, const RunOptions &options)
         ShardResult result;
         {
             std::unique_lock<std::mutex> lock(mutex);
-            readyCv.wait(lock,
-                         [&] { return ready.count(i) != 0; });
+            readyCv.wait(lock, [&] {
+                return ready.count(i) != 0 ||
+                       abort.load(std::memory_order_relaxed);
+            });
+            if (ready.count(i) == 0)
+                break; // worker aborted before producing shard i
             result = std::move(ready.at(i));
             ready.erase(i);
         }
         const ShardTask &task = plan.tasks[i];
-        if (useStore &&
-            !writer.write(shardRecord(spec, task, result),
-                          &outcome.error)) {
+        // Forensics flush strictly before the store record: a kill
+        // between the two leaves the sidecar one record ahead, never
+        // behind, which resume truncates back.
+        if ((useForensics &&
+             !forensicsWriter.write(forensicsShardRecord(task,
+                                                         result.mc),
+                                    &outcome.error)) ||
+            (useStore &&
+             !writer.write(shardRecord(spec, task, result),
+                           &outcome.error))) {
             writeFailed = true;
             abort.store(true);
             // Unblock any worker parked on a full queue (none today,
@@ -366,19 +464,59 @@ runCampaign(const CampaignSpec &spec, const RunOptions &options)
     }
     for (auto &worker : workers)
         worker.join();
+
+    const auto exportTrace = [&] {
+        const auto &recorder = obs::TraceRecorder::instance();
+        if (!recorder.enabled())
+            return;
+        std::string path = options.traceOut;
+        if (path.empty() && useStore)
+            path = options.outPath + ".trace.json";
+        if (path.empty())
+            return;
+        std::string traceError;
+        if (recorder.exportTo(path, &traceError))
+            outcome.tracePath = path;
+        else if (options.progressOut)
+            *options.progressOut
+                << "trace export failed: " << traceError << "\n";
+    };
+
+    if (!workerError.empty()) {
+        outcome.error = "shard execution failed: " + workerError;
+        exportTrace();
+        // No reporter.finish(): its destructor emits the "aborted"
+        // record, distinguishing a crash from a clean partial run.
+        return outcome;
+    }
     if (writeFailed) {
         reporter.finish(false);
+        exportTrace();
         return outcome;
     }
 
     outcome.complete = limit == plan.tasks.size();
+    if (outcome.complete && useForensics) {
+        for (const auto &cell : outcome.cells) {
+            if (!forensicsWriter.write(
+                    forensicsSummaryRecord(cell.point, cell.cell,
+                                           cell.label, cell.result.mc),
+                    &outcome.error)) {
+                reporter.finish(false);
+                exportTrace();
+                return outcome;
+            }
+        }
+    }
     if (outcome.complete && useStore &&
         !writer.write(summaryRecord(spec, outcome.cells),
                       &outcome.error)) {
         reporter.finish(false);
+        exportTrace();
         return outcome;
     }
     reporter.finish(outcome.complete);
+    exportTrace();
     outcome.ok = true;
     return outcome;
 }
@@ -518,7 +656,7 @@ printReport(const std::string &storePath, std::ostream &os,
         }
         os << "\n";
     }
-    return true;
+    return printForensics(storePath, *spec, plan, os, error);
 }
 
 } // namespace xed::campaign

@@ -47,6 +47,16 @@ struct RunOptions
     std::ostream *progressOut = nullptr;
     /** Write `<outPath>.telemetry.jsonl` run/progress/done records. */
     bool telemetrySidecar = true;
+    /** Write `<outPath>.forensics.jsonl` failure-attribution records
+     *  (reliability campaigns with a store only). */
+    bool forensicsSidecar = true;
+    /** Force the trace recorder on for this run (the `trace` verb);
+     *  otherwise recording follows the XED_TRACE environment knob. */
+    bool trace = false;
+    /** Chrome-trace JSON export path when recording is enabled; empty
+     *  defaults to `<outPath>.trace.json` (no export without a store
+     *  unless set explicitly). */
+    std::string traceOut;
 };
 
 /** Merged result of one (sweep point, cell) after all its shards. */
@@ -66,6 +76,11 @@ struct RunOutcome
     bool complete = false;
     std::uint64_t shardsRun = 0;
     std::uint64_t shardsReplayed = 0;
+    /** Where the trace was exported ("" when tracing was off). */
+    std::string tracePath;
+    /** Whether the forensics sidecar was written this run (resume
+     *  disables it when the sidecar can't cover the replayed prefix). */
+    bool forensicsWritten = false;
     /** points x cells summaries in point-major order. */
     std::vector<CellSummary> cells;
 

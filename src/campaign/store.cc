@@ -3,6 +3,8 @@
 #include <filesystem>
 #include <sstream>
 
+#include "obs/trace.hh"
+
 namespace xed::campaign
 {
 
@@ -144,6 +146,7 @@ StoreWriter::open(const std::string &path, long long appendAt,
 bool
 StoreWriter::write(const json::Value &record, std::string *error)
 {
+    XED_TRACE_SPAN("store.write", "io");
     out_ << json::dump(record) << '\n';
     out_.flush();
     if (!out_) {

@@ -5,6 +5,9 @@
 
 #include <unistd.h>
 
+#include "common/build_info.hh"
+#include "obs/trace.hh"
+
 namespace xed::campaign
 {
 
@@ -64,6 +67,7 @@ runMetadata(const std::string &specName, const std::string &hash,
     record.set("startedAt", utcNow());
     record.set("threads", threads);
     record.set("resumedFromShard", resumedFromShard);
+    record.set("build", buildInfoJson());
     return record;
 }
 
@@ -77,7 +81,8 @@ ProgressReporter::ProgressReporter(const Setup &setup,
 
 ProgressReporter::~ProgressReporter()
 {
-    finish(false);
+    // Unwinding without finish(): mark the stream aborted, not done.
+    finishWith("aborted", false);
 }
 
 void
@@ -96,6 +101,12 @@ ProgressReporter::start(const json::Value &runRecord)
 void
 ProgressReporter::finish(bool complete)
 {
+    finishWith("done", complete);
+}
+
+void
+ProgressReporter::finishWith(const char *type, bool complete)
+{
     {
         std::lock_guard<std::mutex> lock(mutex_);
         if (finished_)
@@ -112,16 +123,34 @@ ProgressReporter::finish(bool complete)
                                       started_)
             .count();
     auto done = sample();
-    done.set("type", "done");
+    done.set("type", type);
     done.set("complete", complete);
     done.set("wallSeconds", elapsed);
     done.set("finishedAt", utcNow());
     emit(done);
 }
 
+namespace
+{
+
+/** {"p50":...,"p90":...,"p99":...} (zeros while no samples exist). */
+json::Value
+quantilesJson(const Histogram *histogram)
+{
+    auto out = json::Value::object();
+    const bool any = histogram && histogram->count() > 0;
+    out.set("p50", any ? histogram->quantile(0.50) : 0.0);
+    out.set("p90", any ? histogram->quantile(0.90) : 0.0);
+    out.set("p99", any ? histogram->quantile(0.99) : 0.0);
+    return out;
+}
+
+} // namespace
+
 json::Value
 ProgressReporter::sample() const
 {
+    XED_TRACE_SPAN("progress.sample", "telemetry");
     const double elapsed =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       started_)
@@ -152,6 +181,15 @@ ProgressReporter::sample() const
     record.set("unitsPerSec", rate);
     record.set("etaSeconds", rate > 0 ? remaining / rate : 0.0);
     record.set("failedSystems", progress_.failedSystems.load());
+    const auto histograms = registry_.histograms();
+    const auto histogram =
+        [&histograms](const char *name) -> const Histogram * {
+        const auto it = histograms.find(name);
+        return it == histograms.end() ? nullptr : it->second;
+    };
+    record.set("shardSeconds", quantilesJson(histogram("shard.seconds")));
+    record.set("shardUnitsPerSec",
+               quantilesJson(histogram("shard.unitsPerSec")));
     auto failures = json::Value::object();
     for (const auto &[name, count] : counters) {
         constexpr const char prefix[] = "failed.";

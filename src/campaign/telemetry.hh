@@ -62,7 +62,11 @@ class ProgressReporter
     void start(const json::Value &runRecord);
 
     /** Emit one final progress sample plus a "done" record, then join
-     *  the sampling thread. Safe to call more than once. */
+     *  the sampling thread. Safe to call more than once. If finish()
+     *  is never called -- the runner unwound through an exception or
+     *  a worker failure -- the destructor emits the final sample with
+     *  an "aborted" record instead, so a telemetry stream always ends
+     *  with exactly one terminal record. */
     void finish(bool complete);
 
     /** Build one progress record from the current counters. */
@@ -71,6 +75,9 @@ class ProgressReporter
   private:
     void loop();
     void emit(const json::Value &record);
+    /** Shared tail of finish()/~ProgressReporter: join the sampler and
+     *  emit the @p type terminal record. */
+    void finishWith(const char *type, bool complete);
 
     Setup setup_;
     MetricsRegistry &registry_;

@@ -5,27 +5,39 @@
  *
  *   xed_campaign run    <spec.json> [options]   execute a campaign
  *   xed_campaign resume <spec.json> [options]   continue a killed run
+ *   xed_campaign trace  <spec.json> [options]   run with the trace
+ *                                               recorder forced on
  *   xed_campaign report <result.jsonl>          render result tables
+ *   xed_campaign checkjson <file.json>          strict-parse a JSON
+ *                                               document (trace smoke)
  *
- * Options for run/resume:
+ * Options for run/resume/trace:
  *   --out <file>            result JSONL (default: <name>.jsonl)
  *   --dry-run               validate + print the shard plan, no sim
  *   --threads <n>           worker threads (default: spec/env/hw)
  *   --max-shards <n>        stop after n shard records (interrupt sim)
  *   --progress-interval <s> status-line period in seconds (default 1)
  *   --quiet                 no live status lines (sidecar still kept)
+ *   --trace-out <file>      Chrome-trace export path (default:
+ *                           <out>.trace.json when recording)
+ *   --no-forensics          skip the <out>.forensics.jsonl sidecar
  *
  * Environment: XED_MC_SYSTEMS / XED_TRIALS / XED_MC_SEED /
  * XED_MC_SAMPLER override the spec (reflected in the spec hash),
- * XED_MC_THREADS the worker count. Malformed values are errors.
+ * XED_MC_THREADS the worker count, XED_TRACE / XED_TRACE_BUFFER the
+ * span recorder (run/resume export a trace when XED_TRACE=1).
+ * Malformed values are errors.
  */
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "campaign/runner.hh"
 #include "campaign/spec.hh"
+#include "common/json.hh"
 
 using namespace xed;
 using namespace xed::campaign;
@@ -41,9 +53,41 @@ usage(std::ostream &os)
           "                           [--threads <n>] [--max-shards <n>]\n"
           "                           [--progress-interval <seconds>] "
           "[--quiet]\n"
+          "                           [--trace-out <file>] "
+          "[--no-forensics]\n"
           "       xed_campaign resume <spec.json> [same options]\n"
-          "       xed_campaign report <result.jsonl>\n";
+          "       xed_campaign trace  <spec.json> [same options]\n"
+          "       xed_campaign report <result.jsonl>\n"
+          "       xed_campaign checkjson <file.json>\n";
     return 2;
+}
+
+/** Strict-parse one JSON document; used by scripts/trace_smoke.sh to
+ *  prove an exported trace is well-formed without external tools. */
+int
+checkJson(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::cerr << "xed_campaign: cannot open " << path << "\n";
+        return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::string error;
+    const auto doc = json::parse(buffer.str(), &error);
+    if (!doc) {
+        std::cerr << "xed_campaign: " << path << ": " << error << "\n";
+        return 1;
+    }
+    std::cout << path << ": valid JSON ("
+              << (doc->isObject()
+                      ? std::to_string(doc->size()) + " members"
+                      : doc->isArray()
+                            ? std::to_string(doc->size()) + " items"
+                            : "scalar")
+              << ")\n";
+    return 0;
 }
 
 struct CliArgs
@@ -102,6 +146,13 @@ parseArgs(int argc, char **argv, CliArgs &args, std::string &error)
                 return false;
             args.options.progressIntervalSeconds =
                 std::strtod(v, nullptr);
+        } else if (flag == "--trace-out") {
+            const char *v = value();
+            if (!v)
+                return false;
+            args.options.traceOut = v;
+        } else if (flag == "--no-forensics") {
+            args.options.forensicsSidecar = false;
         } else {
             error = "unknown option " + flag;
             return false;
@@ -129,7 +180,10 @@ main(int argc, char **argv)
         }
         return 0;
     }
-    if (args.command != "run" && args.command != "resume") {
+    if (args.command == "checkjson")
+        return checkJson(args.path);
+    if (args.command != "run" && args.command != "resume" &&
+        args.command != "trace") {
         std::cerr << "xed_campaign: unknown command \"" << args.command
                   << "\"\n";
         return usage(std::cerr);
@@ -153,6 +207,7 @@ main(int argc, char **argv)
     }
 
     args.options.resume = args.command == "resume";
+    args.options.trace = args.command == "trace";
     if (!args.explicitOut)
         args.options.outPath = spec->name + ".jsonl";
     if (!args.quiet)
@@ -169,6 +224,9 @@ main(int argc, char **argv)
                   << " replayed -> " << args.options.outPath
                   << (outcome.complete ? " (complete)" : " (partial)")
                   << "\n";
+        if (!outcome.tracePath.empty())
+            std::cerr << "xed_campaign: trace -> " << outcome.tracePath
+                      << "\n";
     }
     if (outcome.complete &&
         !printReport(args.options.outPath, std::cout, &error)) {

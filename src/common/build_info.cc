@@ -1,0 +1,76 @@
+#include "common/build_info.hh"
+
+// The XED_BUILD_* macros are injected by src/common/CMakeLists.txt for
+// this translation unit only; fall back loudly when built elsewhere.
+#ifndef XED_BUILD_GIT
+#define XED_BUILD_GIT "unknown"
+#endif
+#ifndef XED_BUILD_COMPILER
+#define XED_BUILD_COMPILER "unknown"
+#endif
+#ifndef XED_BUILD_FLAGS
+#define XED_BUILD_FLAGS ""
+#endif
+#ifndef XED_BUILD_TYPE
+#define XED_BUILD_TYPE ""
+#endif
+#ifndef XED_BUILD_SANITIZE
+#define XED_BUILD_SANITIZE ""
+#endif
+#ifndef XED_TRACE
+#define XED_TRACE 1
+#endif
+
+namespace xed
+{
+
+const char *
+buildGitDescribe()
+{
+    return XED_BUILD_GIT;
+}
+
+const char *
+buildCompiler()
+{
+    return XED_BUILD_COMPILER;
+}
+
+const char *
+buildFlags()
+{
+    return XED_BUILD_FLAGS;
+}
+
+const char *
+buildType()
+{
+    return XED_BUILD_TYPE;
+}
+
+const char *
+buildSanitizer()
+{
+    return XED_BUILD_SANITIZE;
+}
+
+bool
+buildTraceCompiled()
+{
+    return XED_TRACE != 0;
+}
+
+json::Value
+buildInfoJson()
+{
+    auto info = json::Value::object();
+    info.set("git", buildGitDescribe());
+    info.set("compiler", buildCompiler());
+    info.set("flags", buildFlags());
+    info.set("buildType", buildType());
+    info.set("sanitizer", buildSanitizer());
+    info.set("traceCompiled", buildTraceCompiled());
+    return info;
+}
+
+} // namespace xed

@@ -13,6 +13,7 @@
 #ifndef XED_COMMON_METRICS_HH
 #define XED_COMMON_METRICS_HH
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <map>
@@ -52,23 +53,87 @@ class Gauge
 };
 
 /**
- * Named counters and gauges, created on first use. Thread-safe; the
- * returned references stay valid until the registry is destroyed.
+ * Log-bucketed concurrent histogram for latency/rate distributions
+ * (shard wall times, systems/sec). Positive values map to one of 8
+ * linear sub-buckets per power-of-two octave over [2^-32, 2^32), so a
+ * bucket's relative width is at most 1/8 (quantile estimates are
+ * within ~6.25% of the true sample quantile); zero, negative and
+ * non-finite values land in a dedicated underflow bucket and values
+ * beyond either edge clamp to the edge buckets.
+ *
+ * update() is a single relaxed fetch_add on the bucket counter, safe
+ * from any number of threads. merge() folds another histogram in by
+ * plain integer addition, so it is exact, associative and commutative
+ * -- the same merge discipline as RunningStat::merge, letting
+ * per-worker histograms reduce to the same result in any order.
+ */
+class Histogram
+{
+  public:
+    static constexpr unsigned subBuckets = 8; ///< per octave
+    /** frexp-exponent range of the real buckets: octave e covers
+     *  [2^(e-1), 2^e), so values span [2^-32 ~ 2.3e-10, 2^32 ~ 4.3e9). */
+    static constexpr int minExponent = -31;
+    static constexpr int maxExponent = 33;
+    static constexpr unsigned bucketCount =
+        1 + static_cast<unsigned>(maxExponent - minExponent) *
+                subBuckets;
+
+    void update(double value)
+    {
+        buckets_[bucketIndex(value)].fetch_add(
+            1, std::memory_order_relaxed);
+    }
+
+    /** Fold @p other in (relaxed reads; exact integer addition). */
+    void merge(const Histogram &other);
+
+    std::uint64_t count() const;
+
+    /**
+     * Approximate q-quantile (q in [0, 1]): the representative value
+     * (geometric bucket midpoint) of the bucket holding the
+     * ceil(q * count)-th smallest sample. Returns 0 when empty.
+     */
+    double quantile(double q) const;
+
+    /** The bucket a value lands in (exposed for the property tests). */
+    static unsigned bucketIndex(double value);
+    /** Representative (midpoint) value of a bucket. */
+    static double bucketValue(unsigned index);
+
+    std::uint64_t bucket(unsigned index) const
+    {
+        return buckets_[index].load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::array<std::atomic<std::uint64_t>, bucketCount> buckets_{};
+};
+
+/**
+ * Named counters, gauges and histograms, created on first use.
+ * Thread-safe; the returned references stay valid until the registry
+ * is destroyed.
  */
 class MetricsRegistry
 {
   public:
     Counter &counter(const std::string &name);
     Gauge &gauge(const std::string &name);
+    Histogram &histogram(const std::string &name);
 
     /** Point-in-time snapshots (each value read individually). */
     std::map<std::string, std::uint64_t> counters() const;
     std::map<std::string, double> gauges() const;
+    /** Stable pointers: histograms live as long as the registry. */
+    std::map<std::string, const Histogram *> histograms() const;
 
   private:
     mutable std::mutex mutex_;
     std::map<std::string, std::unique_ptr<Counter>> counters_;
     std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
 } // namespace xed

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/env.hh"
+#include "obs/trace.hh"
 
 namespace xed::faultsim
 {
@@ -67,6 +68,9 @@ runShard(const Scheme &scheme, const McConfig &config,
     events.reserve(eventReserve);
     EvalScratch scratch;
     scratch.reserve(eventReserve);
+    // Forensic exemplars are capped, so reserving the cap up front
+    // keeps the loop body allocation-free.
+    partial.autopsy.reserve(McResult::maxAutopsyRecords);
 
     // Year crediting is batched per shard: the loop bumps local
     // counters and one addMany per year flushes them at the end.
@@ -78,8 +82,8 @@ runShard(const Scheme &scheme, const McConfig &config,
     const std::uint64_t mixedSeed = Rng::mixSeed(config.seed);
     for (std::uint64_t s = begin; s < end; ++s) {
         Rng rng = Rng::streamMixed(mixedSeed, s);
-        double failTime = -1;
-        const char *failType = nullptr;
+        SchemeFailure fail;
+        fail.timeHours = -1;
         for (unsigned ch = 0; ch < config.channels; ++ch) {
             // Zero-fault lifetimes (>= 93% of channels at Table I
             // rates) cost one count draw and nothing else.
@@ -89,18 +93,22 @@ runShard(const Scheme &scheme, const McConfig &config,
             sampleDimmFaultsInto(rng, ctx, count, events);
             if (const auto f =
                     scheme.evaluateDimm(events, layout, rng, scratch)) {
-                if (failTime < 0 || f->timeHours < failTime) {
-                    failTime = f->timeHours;
-                    failType = f->type;
-                }
+                if (fail.timeHours < 0 || f->timeHours < fail.timeHours)
+                    fail = *f;
             }
         }
         ++systemsTotal;
-        if (failTime >= 0) {
+        if (fail.timeHours >= 0) {
             for (unsigned y = creditYears;
-                 y >= 1 && failTime <= y * hoursPerYear; --y)
+                 y >= 1 && fail.timeHours <= y * hoursPerYear; --y)
                 ++failByYear[y];
-            partial.failureTypes.inc(failType);
+            partial.failureTypes.inc(fail.type);
+            partial.attribution.record(fail.cls, fail.kindsMask,
+                                       fail.outcome);
+            if (partial.autopsy.size() < McResult::maxAutopsyRecords)
+                partial.autopsy.push_back({s, fail.timeHours, fail.type,
+                                           fail.kindsMask, fail.cls,
+                                           fail.outcome});
             ++batchedFailures;
         }
         if (++batchedSystems == progressBatch)
@@ -146,6 +154,7 @@ McResult
 runMonteCarloShard(const Scheme &scheme, const McConfig &config,
                    std::uint64_t begin, std::uint64_t end)
 {
+    XED_TRACE_SPAN_ARG("mc.shard", "engine", "systems", end - begin);
     const AddressLayout layout(config.geometry);
     const DimmShape shape = scheme.dimmShape();
     McResult partial;
@@ -184,6 +193,8 @@ runMonteCarlo(const Scheme &scheme, const McConfig &config)
     for (unsigned t = 0; t < threads; ++t) {
         const std::uint64_t end = begin + chunk + (t < extra ? 1 : 0);
         workers.emplace_back([&, begin, end, t] {
+            XED_TRACE_SPAN_ARG("mc.worker", "engine", "systems",
+                               end - begin);
             runShard(scheme, config, layout, fit, shape, begin, end,
                      partials[t]);
         });

@@ -13,13 +13,16 @@
 #ifndef XED_FAULTSIM_ENGINE_HH
 #define XED_FAULTSIM_ENGINE_HH
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <vector>
 
 #include "common/stats.hh"
 #include "common/units.hh"
 #include "faultsim/scheme.hh"
+#include "obs/forensics.hh"
 
 namespace xed::faultsim
 {
@@ -81,12 +84,35 @@ struct McConfig
     McProgress *progress = nullptr;
 };
 
+/**
+ * Forensic detail for one failed system: enough to reconstruct what
+ * defeated the scheme without rerunning. The engine keeps only the
+ * first few per result (McResult::maxAutopsyRecords) -- a capped,
+ * deterministic exemplar set, not a full log.
+ */
+struct AutopsyRecord
+{
+    std::uint64_t system = 0; ///< global system index
+    double timeHours = 0;     ///< earliest failure time
+    const char *type = "";    ///< failure-type counter label
+    std::uint8_t kindsMask = 0;
+    obs::FailureClass cls = obs::FailureClass::Due;
+    obs::DetectionOutcome outcome = obs::DetectionOutcome::None;
+};
+
 struct McResult
 {
+    /** Lowest-system-index exemplars kept across merges. */
+    static constexpr std::size_t maxAutopsyRecords = 32;
+
     /** P(system failed by end of year y), y = 1..7 (index 0 unused). */
     std::array<Proportion, 8> failByYear{};
     /** Failure-cause breakdown (counts of failed systems by type). */
     CounterSet failureTypes;
+    /** Class x kind-set x detection-outcome failure attribution. */
+    obs::FailureAttribution attribution;
+    /** Up to maxAutopsyRecords exemplar failures, system-index order. */
+    std::vector<AutopsyRecord> autopsy;
 
     /** Final-lifetime probability of system failure (the last year
      *  that was actually simulated). */
@@ -99,14 +125,27 @@ struct McResult
         return 0.0;
     }
 
-    /** Reduce another shard's partial result into this one. All fields
-     *  are integer counts, so merging is exact and order-insensitive. */
+    /** Reduce another shard's partial result into this one. All counts
+     *  are integers, so merging is exact; the autopsy exemplars keep
+     *  the globally lowest system indices, so the reduction is
+     *  order-insensitive too. */
     void
     merge(const McResult &other)
     {
         for (unsigned y = 0; y < failByYear.size(); ++y)
             failByYear[y].merge(other.failByYear[y]);
         failureTypes.merge(other.failureTypes);
+        attribution.merge(other.attribution);
+        if (!other.autopsy.empty()) {
+            autopsy.insert(autopsy.end(), other.autopsy.begin(),
+                           other.autopsy.end());
+            std::sort(autopsy.begin(), autopsy.end(),
+                      [](const AutopsyRecord &a, const AutopsyRecord &b) {
+                          return a.system < b.system;
+                      });
+            if (autopsy.size() > maxAutopsyRecords)
+                autopsy.resize(maxAutopsyRecords);
+        }
     }
 };
 

@@ -11,6 +11,7 @@
 #ifndef XED_FAULTSIM_SCHEME_HH
 #define XED_FAULTSIM_SCHEME_HH
 
+#include <cstdint>
 #include <initializer_list>
 #include <memory>
 #include <optional>
@@ -20,6 +21,7 @@
 
 #include "common/rng.hh"
 #include "faultsim/fault_model.hh"
+#include "obs/forensics.hh"
 
 namespace xed::faultsim
 {
@@ -44,7 +46,24 @@ struct SchemeFailure
     double timeHours = 0;
     /** Counter label, e.g. "multi-chip-data-loss", "due-word-fault". */
     const char *type = "";
+    /** Forensics: was the failure silent (SDC) or detected (DUE)? */
+    obs::FailureClass cls = obs::FailureClass::Due;
+    /** Forensics: how the protection stack disposed of the error. */
+    obs::DetectionOutcome outcome = obs::DetectionOutcome::None;
+    /** Forensics: OR of 1 << FaultKind for each contributing fault. */
+    std::uint8_t kindsMask = 0;
 };
+
+/** Bit in SchemeFailure::kindsMask for one contributing fault event. */
+inline std::uint8_t
+faultKindBit(const FaultEvent &e)
+{
+    return static_cast<std::uint8_t>(1u << static_cast<unsigned>(e.kind));
+}
+
+static_assert((1u << numFaultKinds) <=
+                  obs::FailureAttribution::maxKindMasks,
+              "kindsMask combinations must fit the attribution table");
 
 /**
  * Reusable per-worker scratch for scheme evaluation. The evaluators

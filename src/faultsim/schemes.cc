@@ -67,11 +67,10 @@ chipId(const FaultEvent &e)
 }
 
 void
-keepEarliest(std::optional<SchemeFailure> &best, double time,
-             const char *type)
+keepEarliest(std::optional<SchemeFailure> &best, const SchemeFailure &f)
 {
-    if (!best || time < best->timeHours)
-        best = SchemeFailure{time, type};
+    if (!best || f.timeHours < best->timeHours)
+        best = f;
 }
 
 /**
@@ -173,7 +172,7 @@ class SchemeBase : public Scheme
                 continue;
             if (const auto f =
                     evaluateGroup(groupEvents, layout, rng, scratch))
-                keepEarliest(best, f->timeHours, f->type);
+                keepEarliest(best, *f);
         }
         return best;
     }
@@ -223,15 +222,26 @@ class NonEccScheme : public SchemeBase
         for (const auto &e : events) {
             if (!onDie_.present) {
                 // Nothing corrects anything: every fault is an SDC.
-                keepEarliest(best, e.timeHours, "sdc");
+                keepEarliest(best,
+                             {e.timeHours, "sdc", obs::FailureClass::Sdc,
+                              obs::DetectionOutcome::None,
+                              faultKindBit(e)});
                 continue;
             }
             if (multiBitPerWord(e.kind)) {
-                keepEarliest(best, e.timeHours, "sdc-multibit");
+                keepEarliest(best,
+                             {e.timeHours, "sdc-multibit",
+                              obs::FailureClass::Sdc,
+                              obs::DetectionOutcome::RawPassthrough,
+                              faultKindBit(e)});
             } else if (onDie_.scalingRate > 0 &&
                        rng.bernoulli(bitClassEscapeProb(
                            e.kind, layout, onDie_.scalingRate))) {
-                keepEarliest(best, e.timeHours, "sdc-scaling-interaction");
+                keepEarliest(best,
+                             {e.timeHours, "sdc-scaling-interaction",
+                              obs::FailureClass::Sdc,
+                              obs::DetectionOutcome::RawPassthrough,
+                              faultKindBit(e)});
             }
         }
         return best;
@@ -267,11 +277,19 @@ class SecdedScheme : public SchemeBase
             if (multiBitPerWord(e.kind)) {
                 // Up to 8 bad bits per 72-bit beat from one chip:
                 // beyond SECDED regardless of On-Die ECC.
-                keepEarliest(best, e.timeHours, "dimm-uncorrectable");
+                keepEarliest(best,
+                             {e.timeHours, "dimm-uncorrectable",
+                              obs::FailureClass::Due,
+                              obs::DetectionOutcome::DimmDetect,
+                              faultKindBit(e)});
             } else if (onDie_.present && onDie_.scalingRate > 0 &&
                        rng.bernoulli(bitClassSecdedDueProb(
                            e.kind, layout, onDie_.scalingRate))) {
-                keepEarliest(best, e.timeHours, "due-scaling-interaction");
+                keepEarliest(best,
+                             {e.timeHours, "due-scaling-interaction",
+                              obs::FailureClass::Due,
+                              obs::DetectionOutcome::DimmDetect,
+                              faultKindBit(e)});
             }
         }
         if (!onDie_.present) {
@@ -287,9 +305,13 @@ class SecdedScheme : public SchemeBase
             forEachConcurrentWordPair(
                 bitClass, layout, [&](const auto &a, const auto &b) {
                     if (beatOf(a.range) == beatOf(b.range))
-                        keepEarliest(best,
-                                     std::max(a.timeHours, b.timeHours),
-                                     "due-double-bit");
+                        keepEarliest(
+                            best,
+                            {std::max(a.timeHours, b.timeHours),
+                             "due-double-bit", obs::FailureClass::Due,
+                             obs::DetectionOutcome::DimmDetect,
+                             static_cast<std::uint8_t>(faultKindBit(a) |
+                                                       faultKindBit(b))});
                 });
         }
         return best;
@@ -323,7 +345,11 @@ class XedScheme : public SchemeBase
             // found by the Intra-Line probe.
             if (e.kind == FaultKind::Word && e.transient &&
                 rng.bernoulli(onDie_.detectionEscapeProb)) {
-                keepEarliest(best, e.timeHours, "due-word-fault");
+                keepEarliest(best,
+                             {e.timeHours, "due-word-fault",
+                              obs::FailureClass::Due,
+                              obs::DetectionOutcome::Collision,
+                              faultKindBit(e)});
             }
         }
         // Two chips of the same rank with multi-bit faults in the same
@@ -336,9 +362,13 @@ class XedScheme : public SchemeBase
         forEachConcurrentWordPair(
             multiBit, layout, [&](const auto &a, const auto &b) {
                 if (chipId(a) != chipId(b))
-                    keepEarliest(best,
-                                 std::max(a.timeHours, b.timeHours),
-                                 "multi-chip-data-loss");
+                    keepEarliest(
+                        best,
+                        {std::max(a.timeHours, b.timeHours),
+                         "multi-chip-data-loss", obs::FailureClass::Due,
+                         obs::DetectionOutcome::ParityReconstruction,
+                         static_cast<std::uint8_t>(faultKindBit(a) |
+                                                   faultKindBit(b))});
             });
         return best;
     }
@@ -385,9 +415,13 @@ class ChipkillScheme : public SchemeBase
         forEachConcurrentWordPair(
             visible, layout, [&](const auto &a, const auto &b) {
                 if (chipId(a) != chipId(b))
-                    keepEarliest(best,
-                                 std::max(a.timeHours, b.timeHours),
-                                 "double-chip");
+                    keepEarliest(
+                        best,
+                        {std::max(a.timeHours, b.timeHours),
+                         "double-chip", obs::FailureClass::Due,
+                         obs::DetectionOutcome::DimmDetect,
+                         static_cast<std::uint8_t>(faultKindBit(a) |
+                                                   faultKindBit(b))});
             });
         return best;
     }
@@ -396,19 +430,27 @@ class ChipkillScheme : public SchemeBase
     std::string name_;
 };
 
-/** Three distinct chips sharing one word defeat a 2-chip corrector. */
+/**
+ * Three distinct chips sharing one word defeat a 2-chip corrector.
+ * @p outcome records how the third chip was noticed: the symbol code's
+ * own syndrome (DimmDetect) for Chipkill/Double-Chipkill, or a failed
+ * two-erasure reconstruction (ParityReconstruction) under XED.
+ */
 std::optional<SchemeFailure>
 tripleChipRule(std::span<const FaultEvent> visible,
-               const AddressLayout &layout)
+               const AddressLayout &layout, obs::DetectionOutcome outcome)
 {
     std::optional<SchemeFailure> best;
     forEachConcurrentWordTriple(
         visible, layout,
         [&](const auto &a, const auto &b, const auto &c) {
-            keepEarliest(best,
-                         std::max({a.timeHours, b.timeHours,
-                                   c.timeHours}),
-                         "triple-chip");
+            keepEarliest(
+                best,
+                {std::max({a.timeHours, b.timeHours, c.timeHours}),
+                 "triple-chip", obs::FailureClass::Due, outcome,
+                 static_cast<std::uint8_t>(faultKindBit(a) |
+                                           faultKindBit(b) |
+                                           faultKindBit(c))});
         });
     return best;
 }
@@ -445,7 +487,8 @@ class DoubleChipkillScheme : public SchemeBase
                 visible.push_back(e);
             }
         }
-        return tripleChipRule(visible, layout);
+        return tripleChipRule(visible, layout,
+                              obs::DetectionOutcome::DimmDetect);
     }
 
   private:
@@ -496,14 +539,21 @@ class XedChipkillScheme : public SchemeBase
                     continue;
                 if (esc.concurrentWith(other) &&
                     intersectAtWord(esc.range, other.range, layout)) {
-                    keepEarliest(best,
-                                 std::max(esc.timeHours, other.timeHours),
-                                 "due-escape-plus-erasure");
+                    keepEarliest(
+                        best,
+                        {std::max(esc.timeHours, other.timeHours),
+                         "due-escape-plus-erasure",
+                         obs::FailureClass::Due,
+                         obs::DetectionOutcome::Collision,
+                         static_cast<std::uint8_t>(faultKindBit(esc) |
+                                                   faultKindBit(other))});
                 }
             }
         }
-        if (const auto f = tripleChipRule(visible, layout))
-            keepEarliest(best, f->timeHours, f->type);
+        if (const auto f = tripleChipRule(
+                visible, layout,
+                obs::DetectionOutcome::ParityReconstruction))
+            keepEarliest(best, *f);
         return best;
     }
 

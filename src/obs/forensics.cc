@@ -1,0 +1,32 @@
+#include "obs/forensics.hh"
+
+namespace xed::obs
+{
+
+const char *
+failureClassName(FailureClass cls)
+{
+    switch (cls) {
+      case FailureClass::Sdc: return "sdc";
+      case FailureClass::Due: return "due";
+    }
+    return "?";
+}
+
+const char *
+detectionOutcomeName(DetectionOutcome outcome)
+{
+    switch (outcome) {
+      case DetectionOutcome::None: return "none";
+      case DetectionOutcome::RawPassthrough: return "raw-passthrough";
+      case DetectionOutcome::DimmDetect: return "dimm-detect";
+      case DetectionOutcome::CatchWord: return "catch-word";
+      case DetectionOutcome::Collision: return "collision";
+      case DetectionOutcome::Miscorrection: return "miscorrection";
+      case DetectionOutcome::ParityReconstruction:
+        return "parity-reconstruction";
+    }
+    return "?";
+}
+
+} // namespace xed::obs

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Failure-forensics attribution for the reliability Monte-Carlo.
+ *
+ * The paper's headline claims rest on WHICH fault kinds defeat which
+ * scheme (large-granularity faults defeating bit-level SECDED, Fig. 1;
+ * catch-word collisions bounding XED's SDC rate, Table II). A bare
+ * failure count cannot answer that, so every scheme evaluator now
+ * attributes each failure with:
+ *
+ *   - the failure class (SDC: consumed silently; DUE: detected but
+ *     uncorrectable / data loss),
+ *   - the set of fault kinds (granularities) of the contributing
+ *     events, as a bitmask over faultsim::FaultKind, and
+ *   - the detection outcome: what the last line of defense saw.
+ *
+ * FailureAttribution aggregates those per scheme cell as plain
+ * fixed-size integer arrays: recording is two array increments (no
+ * allocation, no RNG), merging is exact integer addition (associative
+ * and commutative, same discipline as RunningStat::merge), so shard
+ * merges reproduce a whole-run aggregate bit for bit.
+ *
+ * This header deliberately depends only on the standard library: the
+ * fault-kind bitmask is an opaque unsigned here, and faultsim (which
+ * owns FaultKind) depends on obs, not the reverse.
+ */
+
+#ifndef XED_OBS_FORENSICS_HH
+#define XED_OBS_FORENSICS_HH
+
+#include <array>
+#include <cstdint>
+
+namespace xed::obs
+{
+
+enum class FailureClass : std::uint8_t
+{
+    Sdc, ///< silent data corruption: wrong data consumed, no signal
+    Due, ///< detected uncorrectable error / declared data loss
+};
+constexpr unsigned numFailureClasses = 2;
+const char *failureClassName(FailureClass cls);
+
+/** What the last code in the path observed when the system failed. */
+enum class DetectionOutcome : std::uint8_t
+{
+    None,           ///< no code anywhere saw anything
+    RawPassthrough, ///< on-die ECC flagged a DUE; a non-ECC DIMM
+                    ///< forwarded the raw word to the consumer
+    DimmDetect,     ///< DIMM-level code (SECDED/Chipkill) flagged an
+                    ///< uncorrectable pattern
+    CatchWord,      ///< XED catch-word recognized the faulty chip(s)
+                    ///< but the erasure budget was exceeded
+    Collision,      ///< the error pattern aliased a valid on-die
+                    ///< codeword (catch-word collision / escape)
+    Miscorrection,  ///< a code corrected the wrong symbol
+    ParityReconstruction, ///< XED's RAID-3 parity rebuild was
+                          ///< over-subscribed (>= 2 erasures on one
+                          ///< parity)
+};
+constexpr unsigned numDetectionOutcomes = 7;
+const char *detectionOutcomeName(DetectionOutcome outcome);
+
+/**
+ * Per-scheme-cell attribution counters. The kind mask indexes a dense
+ * array (bit k = fault kind k), sized for up to 7 kinds -- faultsim
+ * static_asserts its FaultKind count fits.
+ */
+struct FailureAttribution
+{
+    static constexpr unsigned maxKindMasks = 128; // 2^7 kind subsets
+
+    /** byClassKinds[class][kindsMask] = failed systems attributed to
+     *  exactly that contributing-kind combination. */
+    std::array<std::array<std::uint64_t, maxKindMasks>,
+               numFailureClasses>
+        byClassKinds{};
+    /** byOutcome[outcome] = failed systems with that detection
+     *  outcome. */
+    std::array<std::uint64_t, numDetectionOutcomes> byOutcome{};
+
+    void
+    record(FailureClass cls, unsigned kindsMask,
+           DetectionOutcome outcome)
+    {
+        ++byClassKinds[static_cast<unsigned>(cls)]
+                      [kindsMask % maxKindMasks];
+        ++byOutcome[static_cast<unsigned>(outcome)];
+    }
+
+    /** Exact integer fold; order-insensitive. */
+    void
+    merge(const FailureAttribution &other)
+    {
+        for (unsigned c = 0; c < numFailureClasses; ++c)
+            for (unsigned m = 0; m < maxKindMasks; ++m)
+                byClassKinds[c][m] += other.byClassKinds[c][m];
+        for (unsigned o = 0; o < numDetectionOutcomes; ++o)
+            byOutcome[o] += other.byOutcome[o];
+    }
+
+    /** Total attributed failures (== the failure counters' sum when
+     *  every failure was recorded exactly once). */
+    std::uint64_t
+    total() const
+    {
+        std::uint64_t sum = 0;
+        for (const auto &perClass : byClassKinds)
+            for (const std::uint64_t count : perClass)
+                sum += count;
+        return sum;
+    }
+};
+
+} // namespace xed::obs
+
+#endif // XED_OBS_FORENSICS_HH

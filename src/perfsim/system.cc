@@ -4,6 +4,8 @@
 #include <memory>
 #include <vector>
 
+#include "obs/trace.hh"
+
 namespace xed::perfsim
 {
 
@@ -11,6 +13,8 @@ RunResult
 simulate(const Workload &workload, ProtectionMode mode,
          const PerfConfig &config)
 {
+    XED_TRACE_SPAN_ARG("perfsim.simulate", "perfsim", "memOpsPerCore",
+                       config.memOpsPerCore);
     const ModeEffects fx = modeEffects(mode);
     MemorySystem memory(config.timing, fx, config.seed ^ 0xBEEF);
 

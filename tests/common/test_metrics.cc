@@ -38,6 +38,24 @@ TEST(Metrics, GaugeBasics)
     EXPECT_EQ(registry.gauges().at("eta"), 3.25);
 }
 
+TEST(Metrics, HistogramBasics)
+{
+    MetricsRegistry registry;
+    auto &h = registry.histogram("shard.seconds");
+    EXPECT_EQ(h.count(), 0u);
+    h.update(1.0);
+    h.update(2.0);
+    h.update(4.0);
+    EXPECT_EQ(h.count(), 3u);
+    // Same name returns the same histogram; the snapshot pointer is
+    // the registered instance itself.
+    EXPECT_EQ(&registry.histogram("shard.seconds"), &h);
+    EXPECT_EQ(registry.histograms().at("shard.seconds"), &h);
+    // The median of {1, 2, 4} sits in 2.0's bucket.
+    EXPECT_EQ(h.quantile(0.5),
+              Histogram::bucketValue(Histogram::bucketIndex(2.0)));
+}
+
 TEST(Metrics, SnapshotListsAllNames)
 {
     MetricsRegistry registry;

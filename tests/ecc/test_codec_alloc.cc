@@ -25,6 +25,7 @@
 #include "campaign/runner.hh"
 #include "campaign/spec.hh"
 #include "common/rng.hh"
+#include "obs/trace.hh"
 #include "ecc/crc8atm.hh"
 #include "ecc/error_patterns.hh"
 #include "ecc/hamming7264.hh"
@@ -290,6 +291,35 @@ TEST(CodecAllocation, DetectionShardSteadyStateIsAllocationFree)
                 << "trials";
         }
     }
+}
+
+TEST(CodecAllocation, TracedDetectionShardSteadyStateIsAllocationFree)
+{
+    // Same contract with the span recorder enabled: every per-batch
+    // span is a struct store into the thread's preallocated ring, so
+    // quadrupling the trial count (and the span count with it) must
+    // not change the allocation total after the ring is registered.
+    CampaignSpec spec;
+    spec.name = "alloc-probe-traced";
+    spec.kind = CampaignKind::Detection;
+    spec.seed = 2738;
+    spec.codes = {"hamming7264"};
+    spec.patterns = {"random"};
+    spec.maxWeight = 4;
+    spec.trials = 40000;
+    spec.shardTrials = 40000;
+
+    auto &recorder = obs::TraceRecorder::instance();
+    recorder.setEnabled(true);
+    shardAllocations(spec, 10000); // ring registration warm-up
+
+    const std::uint64_t shortRun = shardAllocations(spec, 10000);
+    const std::uint64_t longRun = shardAllocations(spec, 40000);
+    recorder.setEnabled(false);
+    EXPECT_EQ(shortRun, longRun)
+        << (longRun - shortRun)
+        << " steady-state allocations leaked into 30000 extra traced "
+        << "trials";
 }
 
 } // namespace

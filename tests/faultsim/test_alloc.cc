@@ -24,6 +24,7 @@
 #include "faultsim/engine.hh"
 #include "faultsim/fault_model.hh"
 #include "faultsim/scheme.hh"
+#include "obs/trace.hh"
 
 namespace
 {
@@ -132,6 +133,29 @@ TEST(AllocationContract, SteadyStateIsAllocationFreeTableOneRates)
     const std::uint64_t shortRun = shardAllocations(*scheme, cfg, 1500);
     const std::uint64_t longRun = shardAllocations(*scheme, cfg, 3000);
     EXPECT_EQ(shortRun, longRun);
+}
+
+TEST(AllocationContract, SteadyStateIsAllocationFreeWithTracingOn)
+{
+    // The traced hot path must be as allocation-free as the untraced
+    // one: the only tracing allocation is the per-thread ring buffer,
+    // registered on this thread's first recorded span (inside the
+    // warm-up run), after which recording is a struct store into the
+    // preallocated ring.
+    McConfig cfg;
+    cfg.seed = 61799;
+    const auto scheme = makeScheme(SchemeKind::Secded, OnDieOptions{});
+
+    auto &recorder = obs::TraceRecorder::instance();
+    recorder.setEnabled(true);
+    shardAllocations(*scheme, cfg, 1500); // ring + counter-key warm-up
+
+    const std::uint64_t shortRun = shardAllocations(*scheme, cfg, 1500);
+    const std::uint64_t longRun = shardAllocations(*scheme, cfg, 3000);
+    recorder.setEnabled(false);
+    EXPECT_EQ(shortRun, longRun)
+        << (longRun - shortRun) << " steady-state allocations leaked "
+        << "into 1500 extra traced systems";
 }
 
 TEST(AllocationContract, EvaluateDimmWithScratchDoesNotAllocate)

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for the failure-attribution counters (obs/forensics.hh): the
+ * stable class/outcome names, record() semantics, and the exact,
+ * order-insensitive merge contract the shard reduction relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "obs/forensics.hh"
+
+namespace xed::obs
+{
+namespace
+{
+
+TEST(Forensics, FailureClassNamesAreStable)
+{
+    // The sidecar format and the report tables key on these strings.
+    EXPECT_STREQ(failureClassName(FailureClass::Sdc), "sdc");
+    EXPECT_STREQ(failureClassName(FailureClass::Due), "due");
+}
+
+TEST(Forensics, DetectionOutcomeNamesAreStableAndDistinct)
+{
+    EXPECT_STREQ(detectionOutcomeName(DetectionOutcome::None), "none");
+    EXPECT_STREQ(detectionOutcomeName(DetectionOutcome::RawPassthrough),
+                 "raw-passthrough");
+    EXPECT_STREQ(detectionOutcomeName(DetectionOutcome::DimmDetect),
+                 "dimm-detect");
+    EXPECT_STREQ(detectionOutcomeName(DetectionOutcome::CatchWord),
+                 "catch-word");
+    EXPECT_STREQ(detectionOutcomeName(DetectionOutcome::Collision),
+                 "collision");
+    EXPECT_STREQ(detectionOutcomeName(DetectionOutcome::Miscorrection),
+                 "miscorrection");
+    EXPECT_STREQ(
+        detectionOutcomeName(DetectionOutcome::ParityReconstruction),
+        "parity-reconstruction");
+    std::set<std::string> names;
+    for (unsigned o = 0; o < numDetectionOutcomes; ++o)
+        names.insert(
+            detectionOutcomeName(static_cast<DetectionOutcome>(o)));
+    EXPECT_EQ(names.size(), numDetectionOutcomes);
+}
+
+TEST(Forensics, RecordCountsClassKindsAndOutcome)
+{
+    FailureAttribution attribution;
+    EXPECT_EQ(attribution.total(), 0u);
+
+    attribution.record(FailureClass::Sdc, 0b1, DetectionOutcome::None);
+    attribution.record(FailureClass::Sdc, 0b1, DetectionOutcome::None);
+    attribution.record(FailureClass::Due, 0b1001,
+                       DetectionOutcome::DimmDetect);
+
+    EXPECT_EQ(attribution.byClassKinds[0][0b1], 2u);
+    EXPECT_EQ(attribution.byClassKinds[1][0b1001], 1u);
+    EXPECT_EQ(attribution
+                  .byOutcome[static_cast<unsigned>(
+                      DetectionOutcome::None)],
+              2u);
+    EXPECT_EQ(attribution
+                  .byOutcome[static_cast<unsigned>(
+                      DetectionOutcome::DimmDetect)],
+              1u);
+    EXPECT_EQ(attribution.total(), 3u);
+}
+
+TEST(Forensics, MergeIsExactAndOrderInsensitive)
+{
+    FailureAttribution a;
+    a.record(FailureClass::Sdc, 0b1, DetectionOutcome::Collision);
+    a.record(FailureClass::Due, 0b10, DetectionOutcome::DimmDetect);
+
+    FailureAttribution b;
+    b.record(FailureClass::Sdc, 0b1, DetectionOutcome::Collision);
+    b.record(FailureClass::Due, 0b100,
+             DetectionOutcome::ParityReconstruction);
+
+    FailureAttribution ab;
+    ab.merge(a);
+    ab.merge(b);
+    FailureAttribution ba;
+    ba.merge(b);
+    ba.merge(a);
+
+    EXPECT_EQ(ab.total(), 4u);
+    EXPECT_EQ(ab.byClassKinds, ba.byClassKinds);
+    EXPECT_EQ(ab.byOutcome, ba.byOutcome);
+    EXPECT_EQ(ab.byClassKinds[0][0b1], 2u);
+    EXPECT_EQ(ab.byClassKinds[1][0b10], 1u);
+    EXPECT_EQ(ab.byClassKinds[1][0b100], 1u);
+}
+
+TEST(Forensics, MergingTheIdentityChangesNothing)
+{
+    FailureAttribution a;
+    a.record(FailureClass::Due, 0b11, DetectionOutcome::CatchWord);
+    const FailureAttribution before = a;
+    a.merge(FailureAttribution{});
+    EXPECT_EQ(a.byClassKinds, before.byClassKinds);
+    EXPECT_EQ(a.byOutcome, before.byOutcome);
+}
+
+} // namespace
+} // namespace xed::obs
