@@ -1,10 +1,11 @@
 #!/bin/sh
 # Build the tree with ThreadSanitizer and run the campaign and
 # observability suites plus the CLI smoke specs. The runner's worker
-# pool, progress thread, metrics registry (counters and histograms)
-# and the trace recorder are the only cross-thread code in the repo,
-# so
-#   ctest -L 'campaign|obs'
+# pool, progress thread, metrics registry (counters and histograms),
+# the trace recorder, and the distributed worker loop (heartbeat
+# thread + concurrent in-process workers in test_worker.cc) are the
+# only cross-thread code in the repo, so
+#   ctest -L 'campaign|obs|dist'
 # under TSan covers every lock and atomic they added. A final
 # tracing-enabled campaign run races the span recorder against the
 # worker pool and the progress sampler on purpose.
@@ -19,9 +20,10 @@ jobs=$(nproc 2>/dev/null || echo 2)
 cmake -S "$repo" -B "$build" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DXED_SANITIZE=thread
 cmake --build "$build" -j "$jobs" \
-    --target test_campaign test_obs xed_campaign_cli
+    --target test_campaign test_obs test_dist xed_campaign_cli
 
-(cd "$build" && ctest -L 'campaign|obs' --output-on-failure -j "$jobs")
+(cd "$build" && ctest -L 'campaign|obs|dist' --output-on-failure \
+    -j "$jobs")
 
 # Multi-threaded campaign with the recorder on: worker spans, store
 # spans and the telemetry sampler all write while progress is live.

@@ -1,0 +1,27 @@
+#!/bin/sh
+# Distributed-execution check: build the campaign tree, run the `dist`
+# ctest label (queue protocol + worker/merge byte-identity suites),
+# then the kill-and-reclaim fleet smoke (scripts/dist_smoke.sh) on the
+# fig07 spec -- a 4-worker run where worker 0 is SIGKILLed mid-shard
+# must still merge byte-identically to a single-process run.
+#
+# Usage: scripts/check_distributed.sh [build-dir]   (default: build)
+set -eu
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build=${1:-"$repo/build"}
+jobs=$(nproc 2>/dev/null || echo 2)
+
+cmake -S "$repo" -B "$build"
+cmake --build "$build" -j "$jobs" --target test_dist xed_campaign_cli
+
+(cd "$build" && ctest -L dist --output-on-failure -j "$jobs")
+
+# fig07 shrunk to CI size; the override is part of the spec hash and
+# must be identical for every process, so export it here, once.
+XED_MC_SYSTEMS=${XED_MC_SYSTEMS:-30000}
+export XED_MC_SYSTEMS
+"$repo/scripts/dist_smoke.sh" "$build/src/campaign/xed_campaign" \
+    "$repo/specs/fig07.json" "$build/dist_smoke"
+
+echo "distributed check passed"

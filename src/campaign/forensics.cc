@@ -67,10 +67,12 @@ setAttribution(json::Value &record,
     record.set("outcomes", std::move(outcomes));
 }
 
-/** Parse "failures"/"outcomes" members back into @p attribution. */
+} // namespace
+
 bool
-addAttribution(const json::Value &record,
-               obs::FailureAttribution &attribution, std::string *error)
+parseAttribution(const json::Value &record,
+                 obs::FailureAttribution &attribution,
+                 std::string *error)
 {
     const auto fail = [&](const std::string &what) {
         if (error)
@@ -106,6 +108,49 @@ addAttribution(const json::Value &record,
     }
     return true;
 }
+
+void
+parseAutopsy(const json::Value &record,
+             std::vector<faultsim::AutopsyRecord> &autopsy,
+             std::vector<std::unique_ptr<std::string>> &strings)
+{
+    const json::Value *entries = record.find("autopsy");
+    if (!entries || !entries->isArray())
+        return;
+    for (const auto &entry : entries->items()) {
+        if (!entry.isObject())
+            continue;
+        faultsim::AutopsyRecord rec;
+        const json::Value *system = entry.find("system");
+        const json::Value *time = entry.find("timeHours");
+        const json::Value *failType = entry.find("type");
+        const json::Value *kinds = entry.find("kinds");
+        if (!system || !system->isIntegral() || !time ||
+            !time->isNumber() || !failType || !failType->isString() ||
+            !kinds || !kinds->isString())
+            continue;
+        rec.system = system->asUint();
+        rec.timeHours = time->asDouble();
+        strings.push_back(
+            std::make_unique<std::string>(failType->asString()));
+        rec.type = strings.back()->c_str();
+        if (const auto mask = kindsMaskFromName(kinds->asString()))
+            rec.kindsMask = static_cast<std::uint8_t>(*mask);
+        if (const json::Value *cls = entry.find("class");
+            cls && cls->isString())
+            if (const auto parsed = failureClassFromName(cls->asString()))
+                rec.cls = *parsed;
+        if (const json::Value *outcome = entry.find("outcome");
+            outcome && outcome->isString())
+            if (const auto parsed =
+                    detectionOutcomeFromName(outcome->asString()))
+                rec.outcome = *parsed;
+        autopsy.push_back(rec);
+    }
+}
+
+namespace
+{
 
 json::Value
 autopsyJson(const std::vector<faultsim::AutopsyRecord> &autopsy)
@@ -258,7 +303,7 @@ loadForensics(const std::string &path)
         }
         obs::FailureAttribution attribution;
         std::string attrError;
-        if (!addAttribution(*record, attribution, &attrError)) {
+        if (!parseAttribution(*record, attribution, &attrError)) {
             loaded.error = path + ": " + attrError;
             return loaded;
         }
@@ -324,51 +369,18 @@ printForensics(const std::string &storePath, const CampaignSpec &spec,
                 *error = path + ": record outside the shard plan";
             return false;
         }
-        if (!addAttribution(*record, cells[slot].attribution, error)) {
+        if (!parseAttribution(*record, cells[slot].attribution, error)) {
             if (error)
                 *error = path + ": " + *error;
             return false;
         }
-        if (const json::Value *autopsy = record->find("autopsy");
-            autopsy && autopsy->isArray()) {
-            auto &exemplars = cells[slot].autopsy;
-            for (const auto &entry : autopsy->items()) {
-                if (exemplars.size() >=
-                    faultsim::McResult::maxAutopsyRecords)
-                    break;
-                if (!entry.isObject())
-                    continue;
-                faultsim::AutopsyRecord rec;
-                const json::Value *system = entry.find("system");
-                const json::Value *time = entry.find("timeHours");
-                const json::Value *failType = entry.find("type");
-                const json::Value *kinds = entry.find("kinds");
-                if (!system || !system->isIntegral() || !time ||
-                    !time->isNumber() || !failType ||
-                    !failType->isString() || !kinds ||
-                    !kinds->isString())
-                    continue;
-                rec.system = system->asUint();
-                rec.timeHours = time->asDouble();
-                strings.push_back(std::make_unique<std::string>(
-                    failType->asString()));
-                rec.type = strings.back()->c_str();
-                if (const auto mask =
-                        kindsMaskFromName(kinds->asString()))
-                    rec.kindsMask = static_cast<std::uint8_t>(*mask);
-                if (const json::Value *cls = entry.find("class");
-                    cls && cls->isString())
-                    if (const auto parsed =
-                            failureClassFromName(cls->asString()))
-                        rec.cls = *parsed;
-                if (const json::Value *outcome = entry.find("outcome");
-                    outcome && outcome->isString())
-                    if (const auto parsed = detectionOutcomeFromName(
-                            outcome->asString()))
-                        rec.outcome = *parsed;
-                exemplars.push_back(rec);
-            }
-        }
+        auto &exemplars = cells[slot].autopsy;
+        parseAutopsy(*record, exemplars, strings);
+        // Shards arrive in plan order and system indices rise with
+        // the shard, so truncation keeps the lowest-index exemplars,
+        // matching McResult::merge's cap.
+        if (exemplars.size() > faultsim::McResult::maxAutopsyRecords)
+            exemplars.resize(faultsim::McResult::maxAutopsyRecords);
     }
 
     for (unsigned point = 0; point < plan.points; ++point) {

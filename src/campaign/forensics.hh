@@ -32,6 +32,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -64,6 +65,24 @@ json::Value forensicsShardRecord(const ShardTask &task,
 json::Value forensicsSummaryRecord(unsigned point, unsigned cell,
                                    const std::string &label,
                                    const faultsim::McResult &mc);
+
+/** Accumulate a record's "failures"/"outcomes" payload into
+ *  @p attribution; false + *error on unknown names or shapes. */
+bool parseAttribution(const json::Value &record,
+                      obs::FailureAttribution &attribution,
+                      std::string *error);
+
+/**
+ * Append a record's "autopsy" exemplars to @p autopsy. The decoded
+ * AutopsyRecord::type pointers refer to copies pushed onto
+ * @p strings, which must therefore outlive the autopsy vector.
+ * Malformed entries are skipped (exemplars are best-effort evidence,
+ * not accounting). The distributed merge path uses this to rebuild
+ * each cell's exemplar set exactly as a single-process run would.
+ */
+void parseAutopsy(const json::Value &record,
+                  std::vector<faultsim::AutopsyRecord> &autopsy,
+                  std::vector<std::unique_ptr<std::string>> &strings);
 
 /** What loadForensics() recovered from an existing sidecar. */
 struct LoadedForensics

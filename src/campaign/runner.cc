@@ -63,6 +63,26 @@ makeCode(const std::string &name)
     return std::make_unique<ecc::Hamming7264>();
 }
 
+json::Value
+sweepValueJson(const CampaignSpec &spec, unsigned point)
+{
+    return spec.sweep.active() ? json::Value(spec.sweep.values[point])
+                               : json::Value(nullptr);
+}
+
+} // namespace
+
+std::uint64_t
+failedSystemsOf(const CampaignSpec &spec, const ShardResult &result)
+{
+    if (spec.kind == CampaignKind::Detection)
+        return result.trials - result.detected; // escapes, not failures
+    std::uint64_t failed = 0;
+    for (const auto &[name, count] : result.mc.failureTypes.all())
+        failed += count;
+    return failed;
+}
+
 ShardResult
 runReliabilityShard(const CampaignSpec &spec, const ShardTask &task,
                     faultsim::McProgress *progress)
@@ -76,25 +96,14 @@ runReliabilityShard(const CampaignSpec &spec, const ShardTask &task,
     return out;
 }
 
-std::uint64_t
-failedSystemsOf(const CampaignSpec &spec, const ShardResult &result)
+ShardResult
+runShard(const CampaignSpec &spec, const ShardTask &task,
+         faultsim::McProgress *progress)
 {
-    if (spec.kind == CampaignKind::Detection)
-        return result.trials - result.detected; // escapes, not failures
-    std::uint64_t failed = 0;
-    for (const auto &[name, count] : result.mc.failureTypes.all())
-        failed += count;
-    return failed;
+    return spec.kind == CampaignKind::Reliability
+               ? runReliabilityShard(spec, task, progress)
+               : runDetectionShard(spec, task, progress);
 }
-
-json::Value
-sweepValueJson(const CampaignSpec &spec, unsigned point)
-{
-    return spec.sweep.active() ? json::Value(spec.sweep.values[point])
-                               : json::Value(nullptr);
-}
-
-} // namespace
 
 ShardResult
 runDetectionShard(const CampaignSpec &spec, const ShardTask &task,
@@ -256,10 +265,11 @@ runCampaign(const CampaignSpec &spec, const RunOptions &options)
                 return outcome;
             }
             if (!writer.open(options.outPath, loaded.validBytes,
-                             &outcome.error))
+                             &outcome.error, options.durableStore))
                 return outcome;
         } else {
-            if (!writer.open(options.outPath, -1, &outcome.error))
+            if (!writer.open(options.outPath, -1, &outcome.error,
+                             options.durableStore))
                 return outcome;
             if (!writer.write(manifestRecord(spec, plan, hash),
                               &outcome.error))
@@ -280,7 +290,8 @@ runCampaign(const CampaignSpec &spec, const RunOptions &options)
     if (useForensics) {
         const std::string sidecar = forensicsPath(options.outPath);
         if (firstPending == 0) {
-            if (!forensicsWriter.open(sidecar, -1, &outcome.error))
+            if (!forensicsWriter.open(sidecar, -1, &outcome.error,
+                                      options.durableStore))
                 return outcome;
         } else {
             const LoadedForensics loaded = loadForensics(sidecar);
@@ -298,7 +309,7 @@ runCampaign(const CampaignSpec &spec, const RunOptions &options)
                 if (!forensicsWriter.open(
                         sidecar,
                         loaded.bytesAfterShard[firstPending - 1],
-                        &outcome.error))
+                        &outcome.error, options.durableStore))
                     return outcome;
             }
         }
@@ -386,12 +397,7 @@ runCampaign(const CampaignSpec &spec, const RunOptions &options)
                                 ? "reliability-shard"
                                 : "detection-shard",
                             "campaign", "index", i);
-                        result =
-                            spec.kind == CampaignKind::Reliability
-                                ? runReliabilityShard(spec, task,
-                                                      &progress)
-                                : runDetectionShard(spec, task,
-                                                    &progress);
+                        result = runShard(spec, task, &progress);
                     }
                     const double dt =
                         std::chrono::duration<double>(

@@ -57,6 +57,10 @@ struct RunOptions
      *  defaults to `<outPath>.trace.json` (no export without a store
      *  unless set explicitly). */
     std::string traceOut;
+    /** fsync the result store and forensics sidecar after every
+     *  record (see store.hh durableWritesEnabled()); benches that only
+     *  measure throughput turn this off. */
+    bool durableStore = true;
 };
 
 /** Merged result of one (sweep point, cell) after all its shards. */
@@ -108,6 +112,26 @@ RunOutcome runCampaign(const CampaignSpec &spec,
 ShardResult runDetectionShard(const CampaignSpec &spec,
                               const ShardTask &task,
                               faultsim::McProgress *progress);
+
+/**
+ * Reliability shard: systems [task.begin, task.end) of one scheme
+ * cell through runMonteCarloShard. System s draws Rng::stream(seed, s)
+ * regardless of sharding, so any partition of the plan -- one
+ * process, N threads, or N machines -- merges to identical results.
+ */
+ShardResult runReliabilityShard(const CampaignSpec &spec,
+                                const ShardTask &task,
+                                faultsim::McProgress *progress);
+
+/** Kind dispatch over the two shard executors above. This is the
+ *  whole per-shard engine surface a distributed worker needs. */
+ShardResult runShard(const CampaignSpec &spec, const ShardTask &task,
+                     faultsim::McProgress *progress);
+
+/** Failed systems (reliability) or detection escapes of one result;
+ *  feeds the per-cell "failed.<label>" telemetry counters. */
+std::uint64_t failedSystemsOf(const CampaignSpec &spec,
+                              const ShardResult &result);
 
 /** The deterministic summary record appended after the last shard. */
 json::Value summaryRecord(const CampaignSpec &spec,

@@ -1,7 +1,11 @@
 #include "campaign/store.hh"
 
+#include <cstring>
 #include <filesystem>
 #include <sstream>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 #include "obs/trace.hh"
 
@@ -119,10 +123,52 @@ shardResultFromJson(const CampaignSpec &spec, const json::Value &record)
 }
 
 bool
+durableWritesEnabled()
+{
+    const char *knob = std::getenv("XED_NO_FSYNC");
+    return !(knob && std::strcmp(knob, "1") == 0);
+}
+
+bool
+fsyncPath(const std::string &path, std::string *error)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0 || ::fsync(fd) != 0) {
+        if (fd >= 0)
+            ::close(fd);
+        if (error)
+            *error = "fsync failed on " + path;
+        return false;
+    }
+    ::close(fd);
+    return true;
+}
+
+bool
+fsyncParentDir(const std::string &path, std::string *error)
+{
+    std::filesystem::path parent =
+        std::filesystem::path(path).parent_path();
+    if (parent.empty())
+        parent = ".";
+    return fsyncPath(parent.string(), error);
+}
+
+StoreWriter::~StoreWriter()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+bool
 StoreWriter::open(const std::string &path, long long appendAt,
-                  std::string *error)
+                  std::string *error, bool durable)
 {
     path_ = path;
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
     if (appendAt >= 0) {
         std::error_code ec;
         std::filesystem::resize_file(path, appendAt, ec);
@@ -140,18 +186,41 @@ StoreWriter::open(const std::string &path, long long appendAt,
             *error = "cannot open result file " + path;
         return false;
     }
+    if (durable && durableWritesEnabled()) {
+        fd_ = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+        if (fd_ < 0) {
+            if (error)
+                *error = "cannot open fsync descriptor for " + path;
+            return false;
+        }
+    }
     return true;
 }
 
 bool
 StoreWriter::write(const json::Value &record, std::string *error)
 {
+    return writeLine(json::dump(record), error);
+}
+
+bool
+StoreWriter::writeLine(const std::string &line, std::string *error)
+{
     XED_TRACE_SPAN("store.write", "io");
-    out_ << json::dump(record) << '\n';
+    out_ << line << '\n';
     out_.flush();
     if (!out_) {
         if (error)
             *error = "write failed on " + path_;
+        return false;
+    }
+    // The ofstream flush only moves the record into the page cache; a
+    // host crash there would break the documented kill-safe contract
+    // (store.hh), so push it to stable storage before reporting the
+    // record as written.
+    if (fd_ >= 0 && ::fsync(fd_) != 0) {
+        if (error)
+            *error = "fsync failed on " + path_;
         return false;
     }
     return true;

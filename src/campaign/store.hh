@@ -62,20 +62,47 @@ json::Value shardRecord(const CampaignSpec &spec, const ShardTask &task,
 ShardResult shardResultFromJson(const CampaignSpec &spec,
                                 const json::Value &record);
 
+/**
+ * True unless XED_NO_FSYNC=1: whether campaign stores, forensics
+ * sidecars and queue lease/fragment files fsync their writes. The
+ * kill-safe "plan prefix + at most one torn line" contract only
+ * survives power loss or a worker-host crash when every record
+ * reaches the platter before the next one starts; benches that only
+ * care about throughput can opt out with the environment knob.
+ */
+bool durableWritesEnabled();
+
+/** fsync(2) the file at @p path (data + metadata). */
+bool fsyncPath(const std::string &path, std::string *error);
+
+/** fsync the directory containing @p path, making a just-renamed or
+ *  just-created directory entry durable. */
+bool fsyncParentDir(const std::string &path, std::string *error);
+
 /** Line-oriented appender; flushes after every record so a kill tears
- *  at most the final line. */
+ *  at most the final line, and (when durable) fsyncs so a power loss
+ *  does too. */
 class StoreWriter
 {
   public:
+    ~StoreWriter();
+
     /** Truncate-and-create (@p appendAt < 0) or reopen for append
-     *  after truncating the file to @p appendAt bytes (resume). */
+     *  after truncating the file to @p appendAt bytes (resume).
+     *  @p durable: fsync after every record (AND-ed with the global
+     *  durableWritesEnabled() knob). */
     bool open(const std::string &path, long long appendAt,
-              std::string *error);
+              std::string *error, bool durable = true);
     bool write(const json::Value &record, std::string *error);
+    /** Append one pre-serialized record line verbatim (newline added).
+     *  The distributed merge streams fragment bytes through this so
+     *  no re-serialization can perturb the store's canonical bytes. */
+    bool writeLine(const std::string &line, std::string *error);
 
   private:
     std::ofstream out_;
     std::string path_;
+    int fd_ = -1; ///< fsync descriptor; -1 when durability is off
 };
 
 /** What loadStore() recovered from an existing result file. */

@@ -56,7 +56,8 @@ utcNow()
 
 json::Value
 runMetadata(const std::string &specName, const std::string &hash,
-            unsigned threads, std::uint64_t resumedFromShard)
+            unsigned threads, std::uint64_t resumedFromShard,
+            const std::string &workerId)
 {
     auto record = json::Value::object();
     record.set("type", "run");
@@ -67,6 +68,8 @@ runMetadata(const std::string &specName, const std::string &hash,
     record.set("startedAt", utcNow());
     record.set("threads", threads);
     record.set("resumedFromShard", resumedFromShard);
+    if (!workerId.empty())
+        record.set("worker", workerId);
     record.set("build", buildInfoJson());
     return record;
 }
@@ -179,7 +182,10 @@ ProgressReporter::sample() const
     record.set("unitsDone", unitsDone);
     record.set("unitsTotal", unitsTotal);
     record.set("unitsPerSec", rate);
-    record.set("etaSeconds", rate > 0 ? remaining / rate : 0.0);
+    // No live rate means no estimate: omit the key rather than emit
+    // 0.0, which a dashboard cannot tell apart from "done now".
+    if (rate > 0)
+        record.set("etaSeconds", remaining / rate);
     record.set("failedSystems", progress_.failedSystems.load());
     const auto histograms = registry_.histograms();
     const auto histogram =

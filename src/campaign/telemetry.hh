@@ -10,6 +10,10 @@
  *    "shardsTotal":...,"unitsDone":...,"unitsTotal":...,
  *    "unitsPerSec":...,"etaSeconds":...,"failures":{label:count,...}}
  *
+ * "etaSeconds" is present only while a live rate exists; a tick with
+ * no simulated units yet (or replay only) omits the key entirely,
+ * because 0.0 would be indistinguishable from "done now".
+ *
  * Status lines go to a stream (stderr for the CLI) and, when a
  * sidecar path is configured, are appended to `<out>.telemetry.jsonl`
  * together with the volatile run manifest (spec hash, git describe,
@@ -36,10 +40,14 @@
 namespace xed::campaign
 {
 
-/** Volatile run manifest: spec hash + host + git + start time. */
+/** Volatile run manifest: spec hash + host + git + start time. A
+ *  non-empty @p workerId (distributed workers pass their queue
+ *  identity) is recorded as "worker" so a fleet's telemetry sidecars
+ *  attribute every sample to the process that produced it. */
 json::Value runMetadata(const std::string &specName,
                         const std::string &hash, unsigned threads,
-                        std::uint64_t resumedFromShard);
+                        std::uint64_t resumedFromShard,
+                        const std::string &workerId = "");
 
 class ProgressReporter
 {

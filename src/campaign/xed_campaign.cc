@@ -7,6 +7,11 @@
  *   xed_campaign resume <spec.json> [options]   continue a killed run
  *   xed_campaign trace  <spec.json> [options]   run with the trace
  *                                               recorder forced on
+ *   xed_campaign worker <spec.json> [options]   join a distributed
+ *                                               queue and run shards
+ *   xed_campaign merge  <spec.json> [options]   assemble a queue's
+ *                                               fragments into the
+ *                                               canonical store
  *   xed_campaign report <result.jsonl>          render result tables
  *   xed_campaign checkjson <file.json>          strict-parse a JSON
  *                                               document (trace smoke)
@@ -21,15 +26,44 @@
  *   --trace-out <file>      Chrome-trace export path (default:
  *                           <out>.trace.json when recording)
  *   --no-forensics          skip the <out>.forensics.jsonl sidecar
+ *   --no-fsync              skip per-record fsync (benches; a crash
+ *                           may then lose the documented durability)
+ *
+ * Options for worker:
+ *   --queue-dir <dir>       shared queue directory (required)
+ *   --worker-id <id>        identity in leases/telemetry (default:
+ *                           <host>-<pid>)
+ *   --lease-seconds <s>     lease lifetime before other workers may
+ *                           re-claim a shard (default 60)
+ *   --poll-interval <s>     sleep between scans while all pending
+ *                           shards are leased out (default 0.2)
+ *   --max-shards / --progress-interval / --quiet / --no-forensics /
+ *   --no-fsync              as above
+ *
+ * Options for merge:
+ *   --queue-dir <dir>       shared queue directory (required)
+ *   --out <file>            result JSONL (default: <name>.jsonl)
+ *   --wait                  poll until every fragment exists instead
+ *                           of failing fast
+ *   --timeout <s>           give up --wait after s seconds (default:
+ *                           wait forever)
+ *   --poll-interval <s>     fragment poll period (default 0.5)
+ *   --no-fsync              as above
+ *
+ * All numeric option values parse strictly (common/env.hh): base-10,
+ * no leading/trailing junk, no overflow, finite doubles only.
+ * Malformed values are usage errors, never silently truncated.
  *
  * Environment: XED_MC_SYSTEMS / XED_TRIALS / XED_MC_SEED /
  * XED_MC_SAMPLER override the spec (reflected in the spec hash),
  * XED_MC_THREADS the worker count, XED_TRACE / XED_TRACE_BUFFER the
- * span recorder (run/resume export a trace when XED_TRACE=1).
- * Malformed values are errors.
+ * span recorder (run/resume export a trace when XED_TRACE=1; a worker
+ * exports to <queue-dir>/worker-<id>.trace.json), XED_NO_FSYNC=1
+ * disables all per-record fsyncs globally. Malformed values are
+ * errors.
  */
 
-#include <cstring>
+#include <climits>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -37,6 +71,8 @@
 
 #include "campaign/runner.hh"
 #include "campaign/spec.hh"
+#include "campaign/worker.hh"
+#include "common/env.hh"
 #include "common/json.hh"
 
 using namespace xed;
@@ -54,9 +90,22 @@ usage(std::ostream &os)
           "                           [--progress-interval <seconds>] "
           "[--quiet]\n"
           "                           [--trace-out <file>] "
-          "[--no-forensics]\n"
+          "[--no-forensics] [--no-fsync]\n"
           "       xed_campaign resume <spec.json> [same options]\n"
           "       xed_campaign trace  <spec.json> [same options]\n"
+          "       xed_campaign worker <spec.json> --queue-dir <dir>\n"
+          "                           [--worker-id <id>] "
+          "[--lease-seconds <s>]\n"
+          "                           [--poll-interval <s>] "
+          "[--max-shards <n>]\n"
+          "                           [--progress-interval <seconds>] "
+          "[--quiet]\n"
+          "                           [--no-forensics] [--no-fsync]\n"
+          "       xed_campaign merge  <spec.json> --queue-dir <dir>\n"
+          "                           [--out <file>] [--wait] "
+          "[--timeout <s>]\n"
+          "                           [--poll-interval <s>] "
+          "[--no-fsync]\n"
           "       xed_campaign report <result.jsonl>\n"
           "       xed_campaign checkjson <file.json>\n";
     return 2;
@@ -95,6 +144,8 @@ struct CliArgs
     std::string command;
     std::string path;
     RunOptions options;
+    WorkerOptions worker;
+    MergeOptions merge;
     bool dryRun = false;
     bool quiet = false;
     bool explicitOut = false;
@@ -119,6 +170,37 @@ parseArgs(int argc, char **argv, CliArgs &args, std::string &error)
             }
             return argv[++i];
         };
+        // Strict numeric parses: a flag whose value fails to parse is
+        // a usage error, never a silent zero (the old strtoul paths
+        // turned "--threads 4x" into 4 and "--threads x" into 0,
+        // which resolveThreads then silently replaced with the
+        // hardware count).
+        const auto u64Value = [&](std::uint64_t &out) {
+            const char *v = value();
+            if (!v)
+                return false;
+            const auto parsed = parseU64(v);
+            if (!parsed) {
+                error = flag + ": expected an unsigned base-10 " +
+                        "integer, got \"" + v + "\"";
+                return false;
+            }
+            out = *parsed;
+            return true;
+        };
+        const auto f64Value = [&](double &out) {
+            const char *v = value();
+            if (!v)
+                return false;
+            const auto parsed = parseF64(v);
+            if (!parsed) {
+                error = flag + ": expected a finite base-10 number, " +
+                        "got \"" + v + "\"";
+                return false;
+            }
+            out = *parsed;
+            return true;
+        };
         if (flag == "--dry-run") {
             args.dryRun = true;
         } else if (flag == "--quiet") {
@@ -128,24 +210,30 @@ parseArgs(int argc, char **argv, CliArgs &args, std::string &error)
             if (!v)
                 return false;
             args.options.outPath = v;
+            args.merge.outPath = v;
             args.explicitOut = true;
         } else if (flag == "--threads") {
-            const char *v = value();
-            if (!v)
+            std::uint64_t threads = 0;
+            if (!u64Value(threads))
                 return false;
-            args.options.threads =
-                static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+            if (threads > UINT_MAX) {
+                error = flag + ": " + std::to_string(threads) +
+                        " is not a sane worker-thread count";
+                return false;
+            }
+            args.options.threads = static_cast<unsigned>(threads);
         } else if (flag == "--max-shards") {
-            const char *v = value();
-            if (!v)
+            std::uint64_t shards = 0;
+            if (!u64Value(shards))
                 return false;
-            args.options.maxShards = std::strtoull(v, nullptr, 10);
+            args.options.maxShards = shards;
+            args.worker.maxShards = shards;
         } else if (flag == "--progress-interval") {
-            const char *v = value();
-            if (!v)
+            double seconds = 0;
+            if (!f64Value(seconds))
                 return false;
-            args.options.progressIntervalSeconds =
-                std::strtod(v, nullptr);
+            args.options.progressIntervalSeconds = seconds;
+            args.worker.progressIntervalSeconds = seconds;
         } else if (flag == "--trace-out") {
             const char *v = value();
             if (!v)
@@ -153,12 +241,107 @@ parseArgs(int argc, char **argv, CliArgs &args, std::string &error)
             args.options.traceOut = v;
         } else if (flag == "--no-forensics") {
             args.options.forensicsSidecar = false;
+            args.worker.forensics = false;
+        } else if (flag == "--no-fsync") {
+            args.options.durableStore = false;
+            args.worker.durable = false;
+            args.merge.durable = false;
+        } else if (flag == "--queue-dir") {
+            const char *v = value();
+            if (!v)
+                return false;
+            args.worker.queueDir = v;
+            args.merge.queueDir = v;
+        } else if (flag == "--worker-id") {
+            const char *v = value();
+            if (!v)
+                return false;
+            args.worker.workerId = v;
+        } else if (flag == "--lease-seconds") {
+            double seconds = 0;
+            if (!f64Value(seconds))
+                return false;
+            if (seconds <= 0) {
+                error = flag + ": lease lifetime must be positive";
+                return false;
+            }
+            args.worker.leaseSeconds = seconds;
+        } else if (flag == "--poll-interval") {
+            double seconds = 0;
+            if (!f64Value(seconds))
+                return false;
+            args.worker.pollSeconds = seconds;
+            args.merge.pollSeconds = seconds;
+        } else if (flag == "--wait") {
+            args.merge.waitForFragments = true;
+        } else if (flag == "--timeout") {
+            double seconds = 0;
+            if (!f64Value(seconds))
+                return false;
+            args.merge.timeoutSeconds = seconds;
         } else {
             error = "unknown option " + flag;
             return false;
         }
     }
     return true;
+}
+
+int
+workerMain(const CampaignSpec &spec, CliArgs &args)
+{
+    if (args.worker.queueDir.empty()) {
+        std::cerr << "xed_campaign: worker requires --queue-dir\n";
+        return usage(std::cerr);
+    }
+    if (!args.quiet)
+        args.worker.progressOut = &std::cerr;
+    const WorkerOutcome outcome = runWorker(spec, args.worker);
+    if (!outcome.ok) {
+        std::cerr << "xed_campaign: " << outcome.error << "\n";
+        return 1;
+    }
+    if (!args.quiet) {
+        std::cerr << "xed_campaign: worker ran " << outcome.shardsRun
+                  << " shards";
+        if (outcome.duplicates)
+            std::cerr << " (" << outcome.duplicates
+                      << " already committed byte-identically)";
+        std::cerr << (outcome.queueDrained ? "; queue drained"
+                                           : "; queue not drained")
+                  << "\n";
+        if (!outcome.tracePath.empty())
+            std::cerr << "xed_campaign: trace -> " << outcome.tracePath
+                      << "\n";
+    }
+    return 0;
+}
+
+int
+mergeMain(const CampaignSpec &spec, CliArgs &args, std::string &error)
+{
+    if (args.merge.queueDir.empty()) {
+        std::cerr << "xed_campaign: merge requires --queue-dir\n";
+        return usage(std::cerr);
+    }
+    if (!args.explicitOut)
+        args.merge.outPath = spec.name + ".jsonl";
+    const MergeOutcome outcome = mergeFragments(spec, args.merge);
+    if (!outcome.ok) {
+        std::cerr << "xed_campaign: " << outcome.error << "\n";
+        return 1;
+    }
+    if (!args.quiet)
+        std::cerr << "xed_campaign: merged " << outcome.shardsMerged
+                  << " shards -> " << args.merge.outPath
+                  << (outcome.forensicsWritten ? " (+ forensics sidecar)"
+                                               : "")
+                  << "\n";
+    if (!printReport(args.merge.outPath, std::cout, &error)) {
+        std::cerr << "xed_campaign: " << error << "\n";
+        return 1;
+    }
+    return 0;
 }
 
 } // namespace
@@ -183,7 +366,8 @@ main(int argc, char **argv)
     if (args.command == "checkjson")
         return checkJson(args.path);
     if (args.command != "run" && args.command != "resume" &&
-        args.command != "trace") {
+        args.command != "trace" && args.command != "worker" &&
+        args.command != "merge") {
         std::cerr << "xed_campaign: unknown command \"" << args.command
                   << "\"\n";
         return usage(std::cerr);
@@ -205,6 +389,11 @@ main(int argc, char **argv)
         printPlan(*spec, std::cout);
         return 0;
     }
+
+    if (args.command == "worker")
+        return workerMain(*spec, args);
+    if (args.command == "merge")
+        return mergeMain(*spec, args, error);
 
     args.options.resume = args.command == "resume";
     args.options.trace = args.command == "trace";

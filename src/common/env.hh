@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <limits>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -42,6 +43,40 @@ parseU64(std::string_view text)
             return std::nullopt; // overflow
         value = value * 10 + digit;
     }
+    return value;
+}
+
+/**
+ * Parse a full string as a finite base-10 double. Returns nullopt for
+ * anything else: empty input, leading/trailing junk or whitespace,
+ * hex floats, inf/nan. The CLI routes every fractional option
+ * (--progress-interval, --lease-seconds, ...) through this so
+ * "--progress-interval abc" is a usage error instead of silently
+ * becoming 0.0 the way a bare strtod would make it.
+ */
+inline std::optional<double>
+parseF64(std::string_view text)
+{
+    if (text.empty())
+        return std::nullopt;
+    // strtod accepts leading whitespace, "0x..." hex floats and
+    // "inf"/"nan"; none of those are sane knob values, so pre-screen
+    // to digits, sign, decimal point and exponent characters only.
+    for (const char c : text) {
+        const bool ok = (c >= '0' && c <= '9') || c == '+' ||
+                        c == '-' || c == '.' || c == 'e' || c == 'E';
+        if (!ok)
+            return std::nullopt;
+    }
+    const std::string owned(text);
+    char *end = nullptr;
+    const double value = std::strtod(owned.c_str(), &end);
+    if (end != owned.c_str() + owned.size())
+        return std::nullopt;
+    if (!(value == value) ||
+        value > std::numeric_limits<double>::max() ||
+        value < -std::numeric_limits<double>::max())
+        return std::nullopt; // nan or overflow to +-inf
     return value;
 }
 

@@ -293,6 +293,57 @@ TEST(ProgressReporter, FinishSuppressesTheAbortedRecord)
     std::remove(path.c_str());
 }
 
+TEST(ProgressReporter, EtaOmittedWithoutLiveRate)
+{
+    MetricsRegistry registry;
+    faultsim::McProgress progress;
+    registry.counter("units.total").add(1000);
+    ProgressReporter::Setup setup;
+    setup.intervalSeconds = 0;
+    ProgressReporter reporter(setup, registry, progress);
+
+    // No live-simulated units yet: a 0.0 ETA would read as "done
+    // now", so the key must be absent entirely.
+    const auto idle = reporter.sample();
+    EXPECT_EQ(idle.find("etaSeconds"), nullptr);
+    EXPECT_EQ(idle.find("unitsPerSec")->asDouble(), 0.0);
+
+    progress.systemsDone.store(500);
+    const auto live = reporter.sample();
+    const json::Value *eta = live.find("etaSeconds");
+    ASSERT_NE(eta, nullptr);
+    EXPECT_GT(eta->asDouble(), 0.0);
+    EXPECT_GT(live.find("unitsPerSec")->asDouble(), 0.0);
+}
+
+TEST(ProgressReporter, EtaOmittedWhenAllUnitsWereReplayed)
+{
+    MetricsRegistry registry;
+    faultsim::McProgress progress;
+    registry.counter("units.total").add(1000);
+    registry.counter("units.replayed").add(400);
+    progress.systemsDone.store(400);
+    ProgressReporter::Setup setup;
+    setup.intervalSeconds = 0;
+    ProgressReporter reporter(setup, registry, progress);
+
+    // Replayed shards were read from disk, not simulated; they carry
+    // no rate information, so there is still no estimate.
+    const auto record = reporter.sample();
+    EXPECT_EQ(record.find("etaSeconds"), nullptr);
+}
+
+TEST(RunMetadata, RecordsWorkerProvenanceOnlyWhenGiven)
+{
+    const auto plain = runMetadata("probe", "hash", 2, 0);
+    EXPECT_EQ(plain.find("worker"), nullptr);
+
+    const auto tagged = runMetadata("probe", "hash", 1, 0, "host-77");
+    const json::Value *worker = tagged.find("worker");
+    ASSERT_NE(worker, nullptr);
+    EXPECT_EQ(worker->asString(), "host-77");
+}
+
 } // namespace
 } // namespace xed::campaign
 
