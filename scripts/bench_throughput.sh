@@ -3,14 +3,16 @@
 # repository root:
 #   - Monte-Carlo sampling kernel  -> BENCH_mc_throughput.json
 #   - codec kernels (before/after) -> BENCH_codecs.json
+#   - fleet-lifetime engine        -> BENCH_fleet.json
 #
 #   scripts/bench_throughput.sh [build-dir] [stage]
 #
-# stage: "mc", "codecs", or "all" (default). Respects the usual knobs:
-# XED_MC_SYSTEMS (default 1M), XED_MC_SEED, XED_MC_SAMPLER,
-# XED_MC_THREADS for the mc stage; XED_CODEC_OPS (default 150k) for
-# the codec stage; XED_BENCH_REPEATS for both. XED_BENCH_OUT overrides
-# the output path, but only when a single stage is selected.
+# stage: "mc", "codecs", "fleet", or "all" (default). Respects the
+# usual knobs: XED_MC_SYSTEMS (default 1M; fleet default 200k DIMMs),
+# XED_MC_SEED, XED_MC_SAMPLER, XED_MC_THREADS for the mc and fleet
+# stages; XED_CODEC_OPS (default 150k) for the codec stage;
+# XED_BENCH_REPEATS for all. XED_BENCH_OUT overrides the output path,
+# but only when a single stage is selected.
 set -eu
 
 repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -35,12 +37,16 @@ mc)
 codecs)
     run_stage codec_throughput "${XED_BENCH_OUT:-"$repo/BENCH_codecs.json"}"
     ;;
+fleet)
+    run_stage fleet_throughput "${XED_BENCH_OUT:-"$repo/BENCH_fleet.json"}"
+    ;;
 all)
     run_stage mc_throughput "$repo/BENCH_mc_throughput.json"
     run_stage codec_throughput "$repo/BENCH_codecs.json"
+    run_stage fleet_throughput "$repo/BENCH_fleet.json"
     ;;
 *)
-    echo "bench_throughput: unknown stage \"$stage\" (mc|codecs|all)" >&2
+    echo "bench_throughput: unknown stage \"$stage\" (mc|codecs|fleet|all)" >&2
     exit 2
     ;;
 esac

@@ -5,8 +5,10 @@
 # the trace recorder, and the distributed worker loop (heartbeat
 # thread + concurrent in-process workers in test_worker.cc) are the
 # only cross-thread code in the repo, so
-#   ctest -L 'campaign|obs|dist'
-# under TSan covers every lock and atomic they added. A final
+#   ctest -L 'campaign|obs|dist|fleet'
+# under TSan covers every lock and atomic they added (the fleet suite
+# drives the same worker pool and store through the fleet shard
+# executor). A final
 # tracing-enabled campaign run races the span recorder against the
 # worker pool and the progress sampler on purpose.
 #
@@ -20,10 +22,11 @@ jobs=$(nproc 2>/dev/null || echo 2)
 cmake -S "$repo" -B "$build" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DXED_SANITIZE=thread
 cmake --build "$build" -j "$jobs" \
-    --target test_campaign test_obs test_dist xed_campaign_cli
+    --target test_campaign test_obs test_dist test_fleet \
+    xed_campaign_cli
 
-(cd "$build" && ctest -L 'campaign|obs|dist' --output-on-failure \
-    -j "$jobs")
+(cd "$build" && ctest -L 'campaign|obs|dist|fleet' \
+    --output-on-failure -j "$jobs")
 
 # Multi-threaded campaign with the recorder on: worker spans, store
 # spans and the telemetry sampler all write while progress is live.

@@ -1,0 +1,23 @@
+#!/bin/sh
+# Fleet-lifetime check: build the fleet tree, run the `fleet` ctest
+# label (engine semantics, spec parsing, campaign integration), then
+# the CLI smoke (scripts/fleet_smoke.sh) -- thread-count, resume and
+# 2-worker distributed runs of the fleet spec must all produce
+# byte-identical stores.
+#
+# Usage: scripts/check_fleet.sh [build-dir]   (default: build)
+set -eu
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build=${1:-"$repo/build"}
+jobs=$(nproc 2>/dev/null || echo 2)
+
+cmake -S "$repo" -B "$build"
+cmake --build "$build" -j "$jobs" --target test_fleet xed_campaign_cli
+
+(cd "$build" && ctest -L fleet --output-on-failure -j "$jobs")
+
+"$repo/scripts/fleet_smoke.sh" "$build/src/campaign/xed_campaign" \
+    "$repo/specs/fleet_smoke.json" "$build/fleet_smoke_check"
+
+echo "fleet check passed"

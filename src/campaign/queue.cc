@@ -1,5 +1,6 @@
 #include "campaign/queue.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -382,6 +383,31 @@ void
 ShardQueue::release(std::uint64_t shard)
 {
     ::unlink(leasePath(shard).c_str());
+}
+
+std::uint64_t
+pollJitterSeed(const std::string &workerId)
+{
+    std::uint64_t hash = 0xCBF29CE484222325ull;
+    for (const unsigned char c : workerId) {
+        hash ^= c;
+        hash *= 0x100000001B3ull;
+    }
+    return hash;
+}
+
+double
+jitteredPollSeconds(double baseSeconds, std::uint64_t &state)
+{
+    // splitmix64: one step per call, full-period, no shared state.
+    state += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    z ^= z >> 31;
+    const double u =
+        static_cast<double>(z >> 11) * 0x1.0p-53; // uniform [0, 1)
+    return std::max(baseSeconds * (0.75 + 0.5 * u), 0.01);
 }
 
 } // namespace xed::campaign

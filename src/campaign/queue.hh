@@ -151,6 +151,20 @@ class ShardQueue
 json::Value queueManifest(const CampaignSpec &spec, const Plan &plan,
                           const std::string &hash, bool forensics);
 
+/** Initial poll-jitter state for @p workerId (FNV-1a of the id), so
+ *  each worker walks its own deterministic jitter sequence. */
+std::uint64_t pollJitterSeed(const std::string &workerId);
+
+/**
+ * Next jittered poll interval: a value uniform in
+ * [0.75, 1.25) x @p baseSeconds, floored at 0.01 s, stepping @p state
+ * (splitmix64) on each call. Workers sleep this instead of the raw
+ * poll interval so a queue full of workers started by one parallel
+ * launcher doesn't stampede the shared filesystem in lockstep on
+ * every scan (anti-thundering-herd).
+ */
+double jitteredPollSeconds(double baseSeconds, std::uint64_t &state);
+
 } // namespace xed::campaign
 
 #endif // XED_CAMPAIGN_QUEUE_HH

@@ -70,6 +70,152 @@ sweepValueJson(const CampaignSpec &spec, unsigned point)
                                : json::Value(nullptr);
 }
 
+/**
+ * Fleet-wide series derived from the merged per-cohort deltas at
+ * summary time (DESIGN.md Section 4h): in-service counts, deployed
+ * capacity, cumulative failure counts and scrub traffic. Partial
+ * stores may have short (or missing) cohort series; everything is
+ * padded to the full epoch count so report rendering never branches.
+ */
+struct FleetDerived
+{
+    unsigned epochs = 0;
+    std::vector<fleet::CohortSeries> cohorts; ///< padded, per cohort
+    std::vector<std::uint64_t> inService;     ///< fleet-wide, per epoch
+    std::vector<std::uint64_t> deployed;      ///< capacity, per epoch
+    std::vector<std::uint64_t> cumulativeDue;
+    std::vector<std::uint64_t> cumulativeSdc;
+    std::vector<std::uint64_t> cumulativeReplacements;
+    /** Patrol-scrub passes issued during each epoch: in-service DIMMs
+     *  x epochHours / scrubIntervalHours, summed over cohorts. */
+    std::vector<double> scrubPasses;
+
+    double
+    availability(unsigned epoch) const
+    {
+        // Before anything is deployed there is nothing to be
+        // unavailable; report the fleet as trivially whole.
+        return deployed[epoch]
+                   ? static_cast<double>(inService[epoch]) /
+                         static_cast<double>(deployed[epoch])
+                   : 1.0;
+    }
+};
+
+FleetDerived
+deriveFleet(const CampaignSpec &spec, const fleet::FleetResult &result)
+{
+    FleetDerived out;
+    out.epochs = fleetConfigFor(spec).epochs();
+    const auto &cohorts = spec.fleet.cohorts;
+    out.cohorts.resize(cohorts.size());
+    out.inService.assign(out.epochs, 0);
+    out.deployed.assign(out.epochs, 0);
+    out.cumulativeDue.assign(out.epochs, 0);
+    out.cumulativeSdc.assign(out.epochs, 0);
+    out.cumulativeReplacements.assign(out.epochs, 0);
+    out.scrubPasses.assign(out.epochs, 0.0);
+    for (std::size_t c = 0; c < cohorts.size(); ++c) {
+        fleet::CohortSeries &series = out.cohorts[c];
+        series.resize(out.epochs);
+        if (c < result.cohorts.size())
+            series.merge(result.cohorts[c]);
+        const std::vector<std::uint64_t> inSvc =
+            fleet::inServiceSeries(series);
+        for (unsigned e = 0; e < out.epochs; ++e) {
+            out.inService[e] += inSvc[e];
+            if (e >= cohorts[c].deployEpoch)
+                out.deployed[e] += cohorts[c].dimms;
+            if (cohorts[c].scrubIntervalHours > 0)
+                out.scrubPasses[e] +=
+                    static_cast<double>(inSvc[e]) *
+                    (spec.fleet.epochHours /
+                     cohorts[c].scrubIntervalHours);
+        }
+    }
+    std::uint64_t due = 0, sdc = 0, replacements = 0;
+    for (unsigned e = 0; e < out.epochs; ++e) {
+        for (const auto &series : out.cohorts) {
+            due += series.due[e];
+            sdc += series.sdc[e];
+            replacements += series.replacements[e];
+        }
+        out.cumulativeDue[e] = due;
+        out.cumulativeSdc[e] = sdc;
+        out.cumulativeReplacements[e] = replacements;
+    }
+    return out;
+}
+
+json::Value
+fleetSummaryJson(const CampaignSpec &spec,
+                 const fleet::FleetResult &result)
+{
+    const FleetDerived derived = deriveFleet(spec, result);
+    auto payload = json::Value::object();
+    payload.set("epochs", derived.epochs);
+    payload.set("epochHours", spec.fleet.epochHours);
+    const auto u64Array = [](const std::vector<std::uint64_t> &values) {
+        auto array = json::Value::array();
+        for (const std::uint64_t v : values)
+            array.push(v);
+        return array;
+    };
+    payload.set("inService", u64Array(derived.inService));
+    auto availability = json::Value::array();
+    for (unsigned e = 0; e < derived.epochs; ++e)
+        availability.push(json::Value(derived.availability(e)));
+    payload.set("availability", std::move(availability));
+    payload.set("cumulativeDue", u64Array(derived.cumulativeDue));
+    payload.set("cumulativeSdc", u64Array(derived.cumulativeSdc));
+    payload.set("cumulativeReplacements",
+                u64Array(derived.cumulativeReplacements));
+    auto scrub = json::Value::array();
+    for (const double v : derived.scrubPasses)
+        scrub.push(json::Value(v));
+    payload.set("scrubPasses", std::move(scrub));
+    auto cohortArray = json::Value::array();
+    for (std::size_t c = 0; c < spec.fleet.cohorts.size(); ++c) {
+        const fleet::FleetCohort &cohort = spec.fleet.cohorts[c];
+        const fleet::CohortSeries &series = derived.cohorts[c];
+        auto entry = json::Value::object();
+        entry.set("name", cohort.name);
+        entry.set("scheme", faultsim::schemeKindName(cohort.scheme));
+        entry.set("dimms", cohort.dimms);
+        entry.set("canary", cohort.canary);
+        entry.set("installs", series.totalInstalls());
+        entry.set("replacements", series.totalReplacements());
+        entry.set("retirements", series.totalRetirements());
+        entry.set("due", series.totalDue());
+        entry.set("sdc", series.totalSdc());
+        entry.set("finalInService",
+                  derived.epochs
+                      ? fleet::inServiceSeries(series).back()
+                      : std::uint64_t{0});
+        const auto alert =
+            cohort.canary
+                ? fleet::canaryAlertEpoch(
+                      series, cohort.dimms,
+                      spec.fleet.policies.canaryDueThreshold)
+                : std::nullopt;
+        entry.set("canaryAlertEpoch", alert
+                                          ? json::Value(std::uint64_t{
+                                                *alert})
+                                          : json::Value(nullptr));
+        cohortArray.push(std::move(entry));
+    }
+    payload.set("cohorts", std::move(cohortArray));
+    return payload;
+}
+
+const char *
+campaignKindName(CampaignKind kind)
+{
+    if (kind == CampaignKind::Reliability)
+        return "reliability";
+    return kind == CampaignKind::Fleet ? "fleet" : "detection";
+}
+
 } // namespace
 
 std::uint64_t
@@ -77,6 +223,12 @@ failedSystemsOf(const CampaignSpec &spec, const ShardResult &result)
 {
     if (spec.kind == CampaignKind::Detection)
         return result.trials - result.detected; // escapes, not failures
+    if (spec.kind == CampaignKind::Fleet) {
+        std::uint64_t failed = 0;
+        for (const auto &series : result.fleet.cohorts)
+            failed += series.totalDue() + series.totalSdc();
+        return failed;
+    }
     std::uint64_t failed = 0;
     for (const auto &[name, count] : result.mc.failureTypes.all())
         failed += count;
@@ -97,12 +249,24 @@ runReliabilityShard(const CampaignSpec &spec, const ShardTask &task,
 }
 
 ShardResult
+runFleetShard(const CampaignSpec &spec, const ShardTask &task,
+              faultsim::McProgress *progress)
+{
+    ShardResult out;
+    out.fleet = fleet::runFleetShard(fleetConfigFor(spec), task.begin,
+                                     task.end, progress);
+    return out;
+}
+
+ShardResult
 runShard(const CampaignSpec &spec, const ShardTask &task,
          faultsim::McProgress *progress)
 {
-    return spec.kind == CampaignKind::Reliability
-               ? runReliabilityShard(spec, task, progress)
-               : runDetectionShard(spec, task, progress);
+    if (spec.kind == CampaignKind::Reliability)
+        return runReliabilityShard(spec, task, progress);
+    if (spec.kind == CampaignKind::Fleet)
+        return runFleetShard(spec, task, progress);
+    return runDetectionShard(spec, task, progress);
 }
 
 ShardResult
@@ -184,6 +348,10 @@ summaryRecord(const CampaignSpec &spec,
                 types.set(name, count);
             entry.set("failureTypes", std::move(types));
             units += mc.failByYear[7].trials();
+        } else if (spec.kind == CampaignKind::Fleet) {
+            entry.set("fleet",
+                      fleetSummaryJson(spec, cell.result.fleet));
+            units += spec.fleet.totalDimms();
         } else {
             entry.set("detected", cell.result.detected);
             entry.set("trials", cell.result.trials);
@@ -395,7 +563,9 @@ runCampaign(const CampaignSpec &spec, const RunOptions &options)
                         XED_TRACE_SPAN_ARG(
                             spec.kind == CampaignKind::Reliability
                                 ? "reliability-shard"
-                                : "detection-shard",
+                                : spec.kind == CampaignKind::Fleet
+                                      ? "fleet-shard"
+                                      : "detection-shard",
                             "campaign", "index", i);
                         result = runShard(spec, task, &progress);
                     }
@@ -531,9 +701,7 @@ void
 printPlan(const CampaignSpec &spec, std::ostream &os)
 {
     const Plan plan = buildPlan(spec);
-    os << "spec:     " << spec.name << " ("
-       << (spec.kind == CampaignKind::Reliability ? "reliability"
-                                                  : "detection")
+    os << "spec:     " << spec.name << " (" << campaignKindName(spec.kind)
        << ")\nspecHash: " << specHash(spec) << "\nresolved: "
        << json::dump(specToJson(spec)) << "\n\n";
 
@@ -630,6 +798,67 @@ printReport(const std::string &storePath, std::ostream &os,
                 table.addRow(row);
             }
             table.print(os, title);
+        } else if (spec->kind == CampaignKind::Fleet) {
+            const FleetDerived derived =
+                deriveFleet(*spec, cells[point].result.fleet);
+            Table cohortTable({"Cohort", "Scheme", "DIMMs", "Installs",
+                               "Repl", "Retired", "DUE", "SDC",
+                               "Canary alert"});
+            for (std::size_t c = 0; c < spec->fleet.cohorts.size();
+                 ++c) {
+                const auto &cohort = spec->fleet.cohorts[c];
+                const auto &series = derived.cohorts[c];
+                const auto alert =
+                    cohort.canary
+                        ? fleet::canaryAlertEpoch(
+                              series, cohort.dimms,
+                              spec->fleet.policies.canaryDueThreshold)
+                        : std::nullopt;
+                cohortTable.addRow(
+                    {cohort.name,
+                     faultsim::schemeKindName(cohort.scheme),
+                     std::to_string(cohort.dimms),
+                     std::to_string(series.totalInstalls()),
+                     std::to_string(series.totalReplacements()),
+                     std::to_string(series.totalRetirements()),
+                     std::to_string(series.totalDue()),
+                     std::to_string(series.totalSdc()),
+                     alert ? "epoch " + std::to_string(*alert)
+                           : (cohort.canary ? "none" : "-")});
+            }
+            cohortTable.print(os, title + ": cohorts");
+            os << "\n";
+
+            // Fleet-wide time series, one row per simulated year
+            // (plus the final partial epoch when the horizon is not a
+            // whole number of years).
+            const unsigned stride = std::max<unsigned>(
+                1, static_cast<unsigned>(
+                       hoursPerYear / spec->fleet.epochHours + 0.5));
+            Table seriesTable({"Epoch", "Years", "In service",
+                               "Availability", "DUE (cum)", "SDC (cum)",
+                               "Repl (cum)"});
+            for (unsigned e = stride - 1; e < derived.epochs;
+                 e += stride) {
+                const bool last = e + stride >= derived.epochs;
+                const unsigned row =
+                    last ? derived.epochs - 1 : e;
+                const double years =
+                    static_cast<double>(row + 1) *
+                    spec->fleet.epochHours / hoursPerYear;
+                seriesTable.addRow(
+                    {std::to_string(row),
+                     json::formatDouble(years),
+                     std::to_string(derived.inService[row]),
+                     Table::pct(derived.availability(row)),
+                     std::to_string(derived.cumulativeDue[row]),
+                     std::to_string(derived.cumulativeSdc[row]),
+                     std::to_string(
+                         derived.cumulativeReplacements[row])});
+                if (last)
+                    break;
+            }
+            seriesTable.print(os, title + ": fleet time series");
         } else {
             std::vector<std::string> headers{"Errors"};
             const unsigned pairs = static_cast<unsigned>(

@@ -123,8 +123,18 @@ ShardResult runReliabilityShard(const CampaignSpec &spec,
                                 const ShardTask &task,
                                 faultsim::McProgress *progress);
 
-/** Kind dispatch over the two shard executors above. This is the
- *  whole per-shard engine surface a distributed worker needs. */
+/**
+ * Fleet shard: slots [task.begin, task.end) of the fleet through
+ * fleet::runFleetShard. Slot s draws Rng::stream(seed, s) and its
+ * whole multi-year history (replacements included) runs in the shard
+ * covering it, so any partition merges to identical results.
+ */
+ShardResult runFleetShard(const CampaignSpec &spec,
+                          const ShardTask &task,
+                          faultsim::McProgress *progress);
+
+/** Kind dispatch over the shard executors above. This is the whole
+ *  per-shard engine surface a distributed worker needs. */
 ShardResult runShard(const CampaignSpec &spec, const ShardTask &task,
                      faultsim::McProgress *progress);
 

@@ -181,6 +181,80 @@ validName(const std::string &name)
     return true;
 }
 
+/** "sampler" key shared by reliability and fleet specs. */
+void
+parseSamplerKey(SpecReader &reader, CampaignSpec &spec)
+{
+    const std::string samplerName = reader.getString(
+        "sampler", faultsim::poissonSamplerName(spec.sampler));
+    if (const auto sampler = faultsim::parsePoissonSampler(samplerName))
+        spec.sampler = *sampler;
+    else
+        reader.fail("unknown sampler \"" + samplerName +
+                    "\" (expected knuth or invcdf)");
+}
+
+/** "onDie" object shared by reliability and fleet specs. */
+void
+parseOnDieKey(SpecReader &reader, faultsim::OnDieOptions &onDie)
+{
+    const json::Value *doc = reader.get("onDie");
+    if (!doc)
+        return;
+    if (!doc->isObject()) {
+        reader.fail("\"onDie\" must be an object");
+        return;
+    }
+    SpecReader sub(*doc);
+    onDie.present = sub.getBool("present", onDie.present);
+    onDie.scalingRate = sub.getDouble("scalingRate", onDie.scalingRate);
+    onDie.detectionEscapeProb =
+        sub.getDouble("detectionEscapeProb", onDie.detectionEscapeProb);
+    sub.finish();
+    if (!sub.ok())
+        reader.fail("onDie: " + sub.error());
+}
+
+/** "fitOverrides" object: per-kind FIT-rate overrides applied onto
+ *  @p fit (Table I defaults, or a cohort's vendor profile). */
+void
+parseFitOverridesKey(SpecReader &reader, faultsim::FitTable &fit)
+{
+    const json::Value *overrides = reader.get("fitOverrides");
+    if (!overrides)
+        return;
+    if (!overrides->isObject()) {
+        reader.fail("\"fitOverrides\" must be an object");
+        return;
+    }
+    for (const auto &[name, entry] : overrides->members()) {
+        const auto kind = parseFaultKind(name);
+        if (!kind) {
+            reader.fail("unknown fault kind \"" + name +
+                        "\" in fitOverrides");
+            return;
+        }
+        if (!entry.isObject()) {
+            reader.fail("fitOverrides entries must be objects");
+            return;
+        }
+        SpecReader sub(entry);
+        auto &slot = fit.entry(*kind);
+        slot.transient = sub.getDouble("transient", slot.transient);
+        slot.permanent = sub.getDouble("permanent", slot.permanent);
+        sub.finish();
+        if (!sub.ok()) {
+            reader.fail("fitOverrides." + name + ": " + sub.error());
+            return;
+        }
+        if (slot.transient < 0 || slot.permanent < 0) {
+            reader.fail("fitOverrides." + name +
+                        ": FIT rates must be >= 0");
+            return;
+        }
+    }
+}
+
 void
 parseReliabilityKeys(SpecReader &reader, CampaignSpec &spec)
 {
@@ -211,62 +285,11 @@ parseReliabilityKeys(SpecReader &reader, CampaignSpec &spec)
     spec.scrubIntervalHours =
         reader.getDouble("scrubIntervalHours", spec.scrubIntervalHours);
 
-    const std::string samplerName = reader.getString(
-        "sampler", faultsim::poissonSamplerName(spec.sampler));
-    if (const auto sampler = faultsim::parsePoissonSampler(samplerName))
-        spec.sampler = *sampler;
-    else
-        reader.fail("unknown sampler \"" + samplerName +
-                    "\" (expected knuth or invcdf)");
-
-    if (const json::Value *onDie = reader.get("onDie")) {
-        if (!onDie->isObject()) {
-            reader.fail("\"onDie\" must be an object");
-            return;
-        }
-        SpecReader sub(*onDie);
-        spec.onDie.present = sub.getBool("present", spec.onDie.present);
-        spec.onDie.scalingRate =
-            sub.getDouble("scalingRate", spec.onDie.scalingRate);
-        spec.onDie.detectionEscapeProb = sub.getDouble(
-            "detectionEscapeProb", spec.onDie.detectionEscapeProb);
-        sub.finish();
-        if (!sub.ok())
-            reader.fail("onDie: " + sub.error());
-    }
-
-    if (const json::Value *overrides = reader.get("fitOverrides")) {
-        if (!overrides->isObject()) {
-            reader.fail("\"fitOverrides\" must be an object");
-            return;
-        }
-        for (const auto &[name, entry] : overrides->members()) {
-            const auto kind = parseFaultKind(name);
-            if (!kind) {
-                reader.fail("unknown fault kind \"" + name +
-                            "\" in fitOverrides");
-                return;
-            }
-            if (!entry.isObject()) {
-                reader.fail("fitOverrides entries must be objects");
-                return;
-            }
-            SpecReader sub(entry);
-            auto &slot = spec.fit.entry(*kind);
-            slot.transient = sub.getDouble("transient", slot.transient);
-            slot.permanent = sub.getDouble("permanent", slot.permanent);
-            sub.finish();
-            if (!sub.ok()) {
-                reader.fail("fitOverrides." + name + ": " + sub.error());
-                return;
-            }
-            if (slot.transient < 0 || slot.permanent < 0) {
-                reader.fail("fitOverrides." + name +
-                            ": FIT rates must be >= 0");
-                return;
-            }
-        }
-    }
+    parseSamplerKey(reader, spec);
+    parseOnDieKey(reader, spec.onDie);
+    parseFitOverridesKey(reader, spec.fit);
+    if (!reader.ok())
+        return;
 
     if (const json::Value *sweep = reader.get("sweep")) {
         if (!sweep->isObject()) {
@@ -371,6 +394,119 @@ parseDetectionKeys(SpecReader &reader, CampaignSpec &spec)
     }
 }
 
+void
+parseFleetKeys(SpecReader &reader, CampaignSpec &spec)
+{
+    spec.years = reader.getDouble("years", spec.years);
+    spec.fleet.epochHours =
+        reader.getDouble("epochHours", spec.fleet.epochHours);
+    spec.shardDimms = reader.getUint("shardDimms", spec.shardDimms);
+    parseSamplerKey(reader, spec);
+    parseOnDieKey(reader, spec.onDie);
+    if (!reader.ok())
+        return;
+
+    if (const json::Value *policies = reader.get("policies")) {
+        if (!policies->isObject()) {
+            reader.fail("\"policies\" must be an object");
+            return;
+        }
+        SpecReader sub(*policies);
+        auto &p = spec.fleet.policies;
+        p.replaceOnDue = sub.getBool("replaceOnDue", p.replaceOnDue);
+        p.replacementLagEpochs = static_cast<unsigned>(sub.getUint(
+            "replacementLagEpochs", p.replacementLagEpochs));
+        p.retireAfterPermanentFaults = static_cast<unsigned>(
+            sub.getUint("retireAfterPermanentFaults",
+                        p.retireAfterPermanentFaults));
+        p.canaryDueThreshold =
+            sub.getDouble("canaryDueThreshold", p.canaryDueThreshold);
+        sub.finish();
+        if (!sub.ok()) {
+            reader.fail("policies: " + sub.error());
+            return;
+        }
+        if (p.canaryDueThreshold < 0 || p.canaryDueThreshold > 1) {
+            reader.fail("policies.canaryDueThreshold must be in [0, 1]");
+            return;
+        }
+    }
+
+    const json::Value *cohorts = reader.get("cohorts");
+    if (!cohorts || !cohorts->isArray() || cohorts->size() == 0) {
+        reader.fail("fleet spec requires a non-empty \"cohorts\" array");
+        return;
+    }
+    for (const auto &item : cohorts->items()) {
+        if (!item.isObject()) {
+            reader.fail("\"cohorts\" entries must be objects");
+            return;
+        }
+        SpecReader sub(item);
+        fleet::FleetCohort cohort;
+        cohort.name = sub.getString("name", "", true);
+        if (sub.ok() && !validName(cohort.name))
+            sub.fail("cohort \"name\" must be non-empty [A-Za-z0-9_.-]");
+        const std::string schemeName =
+            sub.getString("scheme", "", true);
+        if (sub.ok()) {
+            if (const auto kind = parseSchemeKind(schemeName))
+                cohort.scheme = *kind;
+            else
+                sub.fail("unknown scheme \"" + schemeName + "\"");
+        }
+        cohort.dimms = sub.getUint("dimms", 0, true);
+        if (sub.ok() && cohort.dimms == 0)
+            sub.fail("cohort \"dimms\" must be > 0");
+        cohort.deployEpoch = static_cast<unsigned>(
+            sub.getUint("deployEpoch", cohort.deployEpoch));
+        cohort.canary = sub.getBool("canary", cohort.canary);
+        cohort.scrubIntervalHours = sub.getDouble(
+            "scrubIntervalHours", cohort.scrubIntervalHours);
+        parseFitOverridesKey(sub, cohort.fit);
+        sub.finish();
+        if (!sub.ok()) {
+            reader.fail("cohorts[" +
+                        std::to_string(spec.fleet.cohorts.size()) +
+                        "]: " + sub.error());
+            return;
+        }
+        for (const auto &existing : spec.fleet.cohorts) {
+            if (existing.name == cohort.name) {
+                reader.fail("duplicate cohort name \"" + cohort.name +
+                            "\"");
+                return;
+            }
+        }
+        spec.fleet.cohorts.push_back(std::move(cohort));
+    }
+
+    if (!reader.ok())
+        return;
+    if (spec.years <= 0) {
+        reader.fail("\"years\" must be > 0");
+        return;
+    }
+    if (!(spec.fleet.epochHours > 0)) {
+        reader.fail("\"epochHours\" must be > 0");
+        return;
+    }
+    if (spec.shardDimms == 0) {
+        reader.fail("\"shardDimms\" must be > 0");
+        return;
+    }
+    const unsigned epochs = fleetConfigFor(spec).epochs();
+    for (const auto &cohort : spec.fleet.cohorts) {
+        if (cohort.deployEpoch >= epochs) {
+            reader.fail("cohort \"" + cohort.name + "\": deployEpoch " +
+                        std::to_string(cohort.deployEpoch) +
+                        " is outside the " + std::to_string(epochs) +
+                        "-epoch horizon");
+            return;
+        }
+    }
+}
+
 /** FNV-1a 64-bit. */
 std::uint64_t
 fnv1a64(const std::string &bytes)
@@ -390,6 +526,8 @@ CampaignSpec::cellCount() const
 {
     if (kind == CampaignKind::Reliability)
         return static_cast<unsigned>(schemes.size());
+    if (kind == CampaignKind::Fleet)
+        return 1; // one fleet, sharded by slot-index ranges
     return static_cast<unsigned>(codes.size() * patterns.size()) *
            maxWeight;
 }
@@ -414,6 +552,8 @@ parseSpec(const json::Value &doc, std::string *error)
         spec.kind = CampaignKind::Reliability;
     else if (kind == "detection")
         spec.kind = CampaignKind::Detection;
+    else if (kind == "fleet")
+        spec.kind = CampaignKind::Fleet;
     else
         reader.fail("unknown campaign kind \"" + kind + "\"");
 
@@ -423,6 +563,8 @@ parseSpec(const json::Value &doc, std::string *error)
     if (reader.ok()) {
         if (spec.kind == CampaignKind::Reliability)
             parseReliabilityKeys(reader, spec);
+        else if (spec.kind == CampaignKind::Fleet)
+            parseFleetKeys(reader, spec);
         else
             parseDetectionKeys(reader, spec);
     }
@@ -472,6 +614,10 @@ applyEnvOverrides(CampaignSpec &spec)
     };
     if (spec.kind == CampaignKind::Reliability) {
         readEnv("XED_MC_SYSTEMS", spec.systems);
+    } else if (spec.kind == CampaignKind::Detection) {
+        readEnv("XED_TRIALS", spec.trials);
+    }
+    if (spec.kind != CampaignKind::Detection) {
         if (const char *value = std::getenv("XED_MC_SAMPLER")) {
             const auto sampler = faultsim::parsePoissonSampler(value);
             if (!sampler)
@@ -481,8 +627,6 @@ applyEnvOverrides(CampaignSpec &spec)
                     value + "\"");
             spec.sampler = *sampler;
         }
-    } else {
-        readEnv("XED_TRIALS", spec.trials);
     }
     readEnv("XED_MC_SEED", spec.seed);
 }
@@ -494,8 +638,50 @@ specToJson(const CampaignSpec &spec)
     doc.set("name", spec.name);
     doc.set("kind", spec.kind == CampaignKind::Reliability
                         ? "reliability"
-                        : "detection");
+                        : spec.kind == CampaignKind::Fleet ? "fleet"
+                                                           : "detection");
     doc.set("seed", spec.seed);
+    if (spec.kind == CampaignKind::Fleet) {
+        doc.set("years", spec.years);
+        doc.set("epochHours", spec.fleet.epochHours);
+        doc.set("shardDimms", spec.shardDimms);
+        doc.set("sampler", faultsim::poissonSamplerName(spec.sampler));
+        auto onDie = json::Value::object();
+        onDie.set("present", spec.onDie.present);
+        onDie.set("scalingRate", spec.onDie.scalingRate);
+        onDie.set("detectionEscapeProb", spec.onDie.detectionEscapeProb);
+        doc.set("onDie", std::move(onDie));
+        auto policies = json::Value::object();
+        policies.set("replaceOnDue", spec.fleet.policies.replaceOnDue);
+        policies.set("replacementLagEpochs",
+                     spec.fleet.policies.replacementLagEpochs);
+        policies.set("retireAfterPermanentFaults",
+                     spec.fleet.policies.retireAfterPermanentFaults);
+        policies.set("canaryDueThreshold",
+                     spec.fleet.policies.canaryDueThreshold);
+        doc.set("policies", std::move(policies));
+        auto cohorts = json::Value::array();
+        for (const auto &cohort : spec.fleet.cohorts) {
+            auto entry = json::Value::object();
+            entry.set("name", cohort.name);
+            entry.set("scheme", faultsim::schemeKindName(cohort.scheme));
+            entry.set("dimms", cohort.dimms);
+            entry.set("deployEpoch", cohort.deployEpoch);
+            entry.set("canary", cohort.canary);
+            entry.set("scrubIntervalHours", cohort.scrubIntervalHours);
+            auto fit = json::Value::object();
+            for (const auto kind : allFaultKinds) {
+                auto rates = json::Value::object();
+                rates.set("transient", cohort.fit.entry(kind).transient);
+                rates.set("permanent", cohort.fit.entry(kind).permanent);
+                fit.set(faultsim::faultKindName(kind), std::move(rates));
+            }
+            entry.set("fitOverrides", std::move(fit));
+            cohorts.push(std::move(entry));
+        }
+        doc.set("cohorts", std::move(cohorts));
+        return doc;
+    }
     if (spec.kind == CampaignKind::Reliability) {
         auto schemes = json::Value::array();
         for (const auto kind : spec.schemes)
@@ -588,6 +774,8 @@ cellLabel(const CampaignSpec &spec, unsigned cell)
 {
     if (spec.kind == CampaignKind::Reliability)
         return faultsim::schemeKindName(spec.schemes[cell]);
+    if (spec.kind == CampaignKind::Fleet)
+        return "fleet";
     const DetectionCell d = detectionCell(spec, cell);
     return d.code + (d.burst ? "/burst/w" : "/random/w") +
            std::to_string(d.weight);
@@ -625,6 +813,18 @@ mcConfigFor(const CampaignSpec &spec, unsigned point)
             cfg.channels = static_cast<unsigned>(value);
     }
     return cfg;
+}
+
+fleet::FleetConfig
+fleetConfigFor(const CampaignSpec &spec)
+{
+    fleet::FleetConfig config;
+    config.setup = spec.fleet;
+    config.seed = spec.seed;
+    config.years = spec.years;
+    config.sampler = spec.sampler;
+    config.onDie = spec.onDie;
+    return config;
 }
 
 faultsim::OnDieOptions

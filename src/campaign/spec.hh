@@ -36,6 +36,18 @@
  *     "maxWeight": 8,               // error weights 1..maxWeight
  *     "trials": 200000,             // per (code, pattern, weight) cell
  *     "shardTrials": 50000,
+ *     // fleet campaigns (kind "fleet" -- see fleet/fleet.hh):
+ *     "years": 7,                   // horizon, as for reliability
+ *     "epochHours": 730.5,          // epoch length (default monthly)
+ *     "shardDimms": 50000,          // slots per shard (resume grain)
+ *     "sampler" / "onDie":          // as for reliability
+ *     "policies": {"replaceOnDue": true, "replacementLagEpochs": 1,
+ *                  "retireAfterPermanentFaults": 0,
+ *                  "canaryDueThreshold": 0},
+ *     "cohorts": [{"name": "vendorA-secded", "scheme": "secded",
+ *                  "dimms": 500000, "deployEpoch": 0, "canary": false,
+ *                  "scrubIntervalHours": 0,
+ *                  "fitOverrides": {...}}, ...],
  *     // either kind:
  *     "threads": 0                  // 0 = auto (env, then hardware)
  *   }
@@ -53,11 +65,12 @@
 #include "common/units.hh"
 #include "faultsim/engine.hh"
 #include "faultsim/scheme.hh"
+#include "fleet/fleet.hh"
 
 namespace xed::campaign
 {
 
-enum class CampaignKind { Reliability, Detection };
+enum class CampaignKind { Reliability, Detection, Fleet };
 
 /** One swept parameter; values index the campaign's "points". */
 struct SweepAxis
@@ -110,15 +123,27 @@ struct CampaignSpec
     std::uint64_t trials = 200000;
     std::uint64_t shardTrials = 50000;
 
-    /** Cells per sweep point: schemes, or code x pattern x weight. */
+    // Fleet campaigns: cohorts + policies + epoch length (years,
+    // sampler and onDie above are shared with reliability). The fleet
+    // is one cell sharded by slot-index ranges of shardDimms.
+    fleet::FleetSetup fleet;
+    std::uint64_t shardDimms = 50000;
+
+    /** Cells per sweep point: schemes, code x pattern x weight, or
+     *  the single fleet cell. */
     unsigned cellCount() const;
-    /** Systems (reliability) or trials (detection) per cell. */
+    /** Systems (reliability), trials (detection) or fleet slots per
+     *  cell. */
     std::uint64_t unitsPerCell() const
     {
+        if (kind == CampaignKind::Fleet)
+            return fleet.totalDimms();
         return kind == CampaignKind::Reliability ? systems : trials;
     }
     std::uint64_t unitsPerShard() const
     {
+        if (kind == CampaignKind::Fleet)
+            return shardDimms;
         return kind == CampaignKind::Reliability ? shardSystems
                                                  : shardTrials;
     }
@@ -195,6 +220,10 @@ faultsim::McConfig mcConfigFor(const CampaignSpec &spec, unsigned point);
 
 /** On-die options for one sweep point (scaling-rate sweeps etc.). */
 faultsim::OnDieOptions onDieFor(const CampaignSpec &spec, unsigned point);
+
+/** The fleet engine configuration of a fleet spec (setup + seed +
+ *  horizon + sampler + on-die options). */
+fleet::FleetConfig fleetConfigFor(const CampaignSpec &spec);
 
 } // namespace xed::campaign
 

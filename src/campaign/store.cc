@@ -7,6 +7,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include "campaign/forensics.hh"
 #include "obs/trace.hh"
 
 namespace xed::campaign
@@ -14,6 +15,85 @@ namespace xed::campaign
 
 namespace
 {
+
+/** Per-cohort series fields, in the fleet payload's canonical order. */
+constexpr const char *cohortSeriesKeys[] = {
+    "installs", "removals", "due", "sdc", "replacements", "retirements",
+};
+
+const std::vector<std::uint64_t> *
+cohortSeriesField(const fleet::CohortSeries &series, std::size_t field)
+{
+    const std::vector<std::uint64_t> *fields[] = {
+        &series.installs,     &series.removals,     &series.due,
+        &series.sdc,          &series.replacements, &series.retirements,
+    };
+    return fields[field];
+}
+
+std::vector<std::uint64_t> *
+cohortSeriesField(fleet::CohortSeries &series, std::size_t field)
+{
+    return const_cast<std::vector<std::uint64_t> *>(cohortSeriesField(
+        static_cast<const fleet::CohortSeries &>(series), field));
+}
+
+json::Value
+fleetResultToJson(const fleet::FleetResult &fleet)
+{
+    auto result = json::Value::object();
+    auto cohorts = json::Value::array();
+    for (const auto &series : fleet.cohorts) {
+        auto entry = json::Value::object();
+        for (std::size_t f = 0; f < std::size(cohortSeriesKeys); ++f) {
+            auto deltas = json::Value::array();
+            for (const std::uint64_t v : *cohortSeriesField(series, f))
+                deltas.push(v);
+            entry.set(cohortSeriesKeys[f], std::move(deltas));
+        }
+        const auto attribution = attributionJson(series.attribution);
+        entry.set("failures", *attribution.find("failures"));
+        entry.set("outcomes", *attribution.find("outcomes"));
+        cohorts.push(std::move(entry));
+    }
+    result.set("cohorts", std::move(cohorts));
+    return result;
+}
+
+bool
+fleetResultFromJson(const json::Value &result, const CampaignSpec &spec,
+                    fleet::FleetResult &fleet)
+{
+    const unsigned epochs = fleetConfigFor(spec).epochs();
+    const json::Value *cohorts = result.find("cohorts");
+    if (!cohorts || !cohorts->isArray() ||
+        cohorts->size() != spec.fleet.cohorts.size())
+        return false;
+    fleet.cohorts.resize(cohorts->size());
+    for (std::size_t c = 0; c < cohorts->size(); ++c) {
+        const json::Value &entry = cohorts->at(c);
+        if (!entry.isObject())
+            return false;
+        fleet::CohortSeries &series = fleet.cohorts[c];
+        series.resize(epochs);
+        for (std::size_t f = 0; f < std::size(cohortSeriesKeys); ++f) {
+            const json::Value *deltas = entry.find(cohortSeriesKeys[f]);
+            if (!deltas || !deltas->isArray() ||
+                deltas->size() != epochs)
+                return false;
+            std::vector<std::uint64_t> &field =
+                *cohortSeriesField(series, f);
+            for (unsigned e = 0; e < epochs; ++e) {
+                if (!deltas->at(e).isIntegral())
+                    return false;
+                field[e] = deltas->at(e).asUint();
+            }
+        }
+        if (!parseAttribution(entry, series.attribution, nullptr))
+            return false;
+    }
+    return true;
+}
 
 json::Value
 mcResultToJson(const faultsim::McResult &mc)
@@ -90,6 +170,8 @@ shardRecord(const CampaignSpec &spec, const ShardTask &task,
     record.set("end", task.end);
     if (spec.kind == CampaignKind::Reliability) {
         record.set("result", mcResultToJson(result.mc));
+    } else if (spec.kind == CampaignKind::Fleet) {
+        record.set("result", fleetResultToJson(result.fleet));
     } else {
         auto payload = json::Value::object();
         payload.set("detected", result.detected);
@@ -110,6 +192,10 @@ shardResultFromJson(const CampaignSpec &spec, const json::Value &record)
         faultsim::McResult mc;
         if (mcResultFromJson(*result, mc))
             out.mc = mc;
+    } else if (spec.kind == CampaignKind::Fleet) {
+        fleet::FleetResult fleet;
+        if (fleetResultFromJson(*result, spec, fleet))
+            out.fleet = std::move(fleet);
     } else {
         const json::Value *detected = result->find("detected");
         const json::Value *trials = result->find("trials");

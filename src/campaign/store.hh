@@ -38,12 +38,13 @@ namespace xed::campaign
 
 constexpr int storeFormatVersion = 1;
 
-/** Result payload of one shard, either campaign kind. */
+/** Result payload of one shard, any campaign kind. */
 struct ShardResult
 {
     faultsim::McResult mc;          ///< reliability campaigns
     std::uint64_t detected = 0;     ///< detection campaigns
     std::uint64_t trials = 0;       ///< detection campaigns
+    fleet::FleetResult fleet;       ///< fleet campaigns
 
     void
     merge(const ShardResult &other)
@@ -51,6 +52,7 @@ struct ShardResult
         mc.merge(other.mc);
         detected += other.detected;
         trials += other.trials;
+        fleet.merge(other.fleet);
     }
 };
 

@@ -194,6 +194,7 @@ runWorker(const CampaignSpec &spec, const WorkerOptions &options)
     // leases but nothing claimable, sleep and rescan (an expired
     // lease becomes claimable on a later pass).
     std::uint64_t doneBelow = 0; // shards [0, doneBelow) committed
+    std::uint64_t jitterState = pollJitterSeed(queue.workerId());
     bool reachedLimit = false;
     while (!reachedLimit) {
         bool claimedAny = false;
@@ -217,7 +218,9 @@ runWorker(const CampaignSpec &spec, const WorkerOptions &options)
                 XED_TRACE_SPAN_ARG(
                     spec.kind == CampaignKind::Reliability
                         ? "reliability-shard"
-                        : "detection-shard",
+                        : spec.kind == CampaignKind::Fleet
+                              ? "fleet-shard"
+                              : "detection-shard",
                     "campaign", "index", i);
                 result = runShard(spec, task, &progress);
             } catch (const std::exception &e) {
@@ -257,7 +260,7 @@ runWorker(const CampaignSpec &spec, const WorkerOptions &options)
         }
         if (!claimedAny)
             std::this_thread::sleep_for(std::chrono::duration<double>(
-                std::max(options.pollSeconds, 0.01)));
+                jitteredPollSeconds(options.pollSeconds, jitterState)));
     }
     if (reachedLimit)
         outcome.queueDrained =

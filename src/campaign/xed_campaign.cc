@@ -4,6 +4,8 @@
  * campaign runner.
  *
  *   xed_campaign run    <spec.json> [options]   execute a campaign
+ *   xed_campaign fleet  <spec.json> [options]   execute a fleet spec
+ *                                               (kind "fleet" only)
  *   xed_campaign resume <spec.json> [options]   continue a killed run
  *   xed_campaign trace  <spec.json> [options]   run with the trace
  *                                               recorder forced on
@@ -15,6 +17,8 @@
  *   xed_campaign report <result.jsonl>          render result tables
  *   xed_campaign checkjson <file.json>          strict-parse a JSON
  *                                               document (trace smoke)
+ *   xed_campaign version                        print build provenance
+ *                                               (git, compiler, flags)
  *
  * Options for run/resume/trace:
  *   --out <file>            result JSONL (default: <name>.jsonl)
@@ -72,6 +76,7 @@
 #include "campaign/runner.hh"
 #include "campaign/spec.hh"
 #include "campaign/worker.hh"
+#include "common/build_info.hh"
 #include "common/env.hh"
 #include "common/json.hh"
 
@@ -106,8 +111,11 @@ usage(std::ostream &os)
           "[--timeout <s>]\n"
           "                           [--poll-interval <s>] "
           "[--no-fsync]\n"
+          "       xed_campaign fleet  <spec.json> [run options; spec "
+          "kind must be \"fleet\"]\n"
           "       xed_campaign report <result.jsonl>\n"
-          "       xed_campaign checkjson <file.json>\n";
+          "       xed_campaign checkjson <file.json>\n"
+          "       xed_campaign version\n";
     return 2;
 }
 
@@ -349,6 +357,13 @@ mergeMain(const CampaignSpec &spec, CliArgs &args, std::string &error)
 int
 main(int argc, char **argv)
 {
+    // `version` takes no spec argument, so it is resolved before the
+    // generic <command> <path> parse.
+    if (argc == 2 && std::string(argv[1]) == "version") {
+        std::cout << json::dump(buildInfoJson()) << "\n";
+        return 0;
+    }
+
     CliArgs args;
     std::string error;
     if (!parseArgs(argc, argv, args, error)) {
@@ -365,9 +380,9 @@ main(int argc, char **argv)
     }
     if (args.command == "checkjson")
         return checkJson(args.path);
-    if (args.command != "run" && args.command != "resume" &&
-        args.command != "trace" && args.command != "worker" &&
-        args.command != "merge") {
+    if (args.command != "run" && args.command != "fleet" &&
+        args.command != "resume" && args.command != "trace" &&
+        args.command != "worker" && args.command != "merge") {
         std::cerr << "xed_campaign: unknown command \"" << args.command
                   << "\"\n";
         return usage(std::cerr);
@@ -376,6 +391,12 @@ main(int argc, char **argv)
     auto spec = loadSpecFile(args.path, &error);
     if (!spec) {
         std::cerr << "xed_campaign: " << error << "\n";
+        return 1;
+    }
+    if (args.command == "fleet" &&
+        spec->kind != CampaignKind::Fleet) {
+        std::cerr << "xed_campaign: " << args.path
+                  << " is not a fleet spec (kind must be \"fleet\")\n";
         return 1;
     }
     try {

@@ -6,6 +6,7 @@
  * two campaigns from ever mixing fragments in one directory.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
@@ -251,4 +252,50 @@ TEST(ShardQueue, WorkerIdsAreSanitizedForFileNames)
     EXPECT_FALSE(byDefault.empty());
     EXPECT_EQ(byDefault.find('/'), std::string::npos);
     fs::remove_all(dir);
+}
+
+TEST(PollJitter, StaysWithinBoundsAndAboveFloor)
+{
+    // The claim-scan backoff jitters uniformly over [0.75, 1.25) of
+    // the configured interval so a worker fleet started in lockstep
+    // does not hammer the queue directory in phase.
+    std::uint64_t state = pollJitterSeed("w1");
+    double low = 1e9, high = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double s = jitteredPollSeconds(0.2, state);
+        ASSERT_GE(s, 0.75 * 0.2);
+        ASSERT_LT(s, 1.25 * 0.2);
+        low = std::min(low, s);
+        high = std::max(high, s);
+    }
+    // The draw actually spreads over the interval.
+    EXPECT_LT(low, 0.8 * 0.2);
+    EXPECT_GT(high, 1.2 * 0.2);
+
+    // Tiny or zero bases clamp to the 10 ms floor instead of spinning.
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_GE(jitteredPollSeconds(0.001, state), 0.01);
+        EXPECT_EQ(jitteredPollSeconds(0.0, state), 0.01);
+    }
+}
+
+TEST(PollJitter, DeterministicPerWorkerAndDecorrelatedAcrossWorkers)
+{
+    // Same worker id -> same backoff sequence (reproducible runs);
+    // different ids -> different sequences (the anti-thundering-herd
+    // point). 64 draws colliding across seeds is astronomically
+    // unlikely with a splitmix64 stream.
+    std::uint64_t a1 = pollJitterSeed("host-1");
+    std::uint64_t a2 = pollJitterSeed("host-1");
+    std::uint64_t b = pollJitterSeed("host-2");
+    EXPECT_EQ(a1, a2);
+    EXPECT_NE(a1, b);
+
+    bool differs = false;
+    for (int i = 0; i < 64; ++i) {
+        const double fromA1 = jitteredPollSeconds(1.0, a1);
+        EXPECT_EQ(fromA1, jitteredPollSeconds(1.0, a2));
+        differs = differs || fromA1 != jitteredPollSeconds(1.0, b);
+    }
+    EXPECT_TRUE(differs);
 }

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Fleet engine semantics: the determinism contract (shard-cut
+ * invariance, run-to-run identity), conservation laws of the epoch
+ * delta series, maintenance-policy behavior (replace-on-DUE,
+ * retirement, replacement lag) and the summary-time derivations
+ * (in-service series, canary alerts).
+ */
+
+#include <gtest/gtest.h>
+
+#include "fleet/fleet.hh"
+
+using namespace xed;
+using namespace xed::fleet;
+
+namespace
+{
+
+/** All Table I rates scaled by @p factor (stress fault density). */
+faultsim::FitTable
+scaledFit(double factor)
+{
+    faultsim::FitTable fit;
+    for (auto &entry : fit.rates) {
+        entry.transient *= factor;
+        entry.permanent *= factor;
+    }
+    return fit;
+}
+
+FleetConfig
+baseConfig(std::uint64_t dimms, double fitFactor,
+           faultsim::SchemeKind scheme = faultsim::SchemeKind::Secded)
+{
+    FleetConfig config;
+    config.seed = 20260808;
+    config.years = 2.0;
+    FleetCohort cohort;
+    cohort.name = "c0";
+    cohort.scheme = scheme;
+    cohort.dimms = dimms;
+    cohort.fit = scaledFit(fitFactor);
+    config.setup.cohorts.push_back(cohort);
+    return config;
+}
+
+void
+expectSeriesEqual(const CohortSeries &a, const CohortSeries &b)
+{
+    EXPECT_EQ(a.installs, b.installs);
+    EXPECT_EQ(a.removals, b.removals);
+    EXPECT_EQ(a.due, b.due);
+    EXPECT_EQ(a.sdc, b.sdc);
+    EXPECT_EQ(a.replacements, b.replacements);
+    EXPECT_EQ(a.retirements, b.retirements);
+    EXPECT_EQ(a.attribution.total(), b.attribution.total());
+    EXPECT_EQ(a.attribution.byOutcome, b.attribution.byOutcome);
+    EXPECT_EQ(a.attribution.byClassKinds, b.attribution.byClassKinds);
+}
+
+} // namespace
+
+TEST(FleetSim, ZeroFitFleetIsQuiet)
+{
+    const FleetConfig config = baseConfig(500, 0.0);
+    const FleetResult result =
+        runFleetShard(config, 0, config.setup.totalDimms());
+    ASSERT_EQ(result.cohorts.size(), 1u);
+    const CohortSeries &series = result.cohorts[0];
+    EXPECT_EQ(series.totalInstalls(), 500u);
+    EXPECT_EQ(series.installs[0], 500u);
+    EXPECT_EQ(series.totalDue(), 0u);
+    EXPECT_EQ(series.totalSdc(), 0u);
+    EXPECT_EQ(series.totalReplacements(), 0u);
+    EXPECT_EQ(series.totalRetirements(), 0u);
+    const auto inService = inServiceSeries(series);
+    EXPECT_EQ(inService.front(), 500u);
+    EXPECT_EQ(inService.back(), 500u);
+}
+
+TEST(FleetSim, ShardCutInvariance)
+{
+    FleetConfig config = baseConfig(400, 500.0);
+    // A second cohort exercises the segment walk across cut points.
+    FleetCohort second;
+    second.name = "c1";
+    second.scheme = faultsim::SchemeKind::Xed;
+    second.dimms = 200;
+    second.fit = scaledFit(500.0);
+    second.deployEpoch = 2;
+    config.setup.cohorts.push_back(second);
+    const std::uint64_t total = config.setup.totalDimms();
+
+    const FleetResult whole = runFleetShard(config, 0, total);
+    // Cuts landing mid-cohort, on the cohort boundary, and at the end.
+    FleetResult pieces;
+    for (const auto &[lo, hi] :
+         {std::pair<std::uint64_t, std::uint64_t>{0, 137},
+          {137, 400},
+          {400, 523},
+          {523, total}})
+        pieces.merge(runFleetShard(config, lo, hi));
+
+    ASSERT_EQ(whole.cohorts.size(), pieces.cohorts.size());
+    for (std::size_t c = 0; c < whole.cohorts.size(); ++c)
+        expectSeriesEqual(whole.cohorts[c], pieces.cohorts[c]);
+    // The stress factor must actually produce events, or this test
+    // proves nothing.
+    EXPECT_GT(whole.cohorts[0].totalDue() + whole.cohorts[0].totalSdc(),
+              0u);
+}
+
+TEST(FleetSim, RunToRunDeterminism)
+{
+    const FleetConfig config = baseConfig(300, 800.0);
+    const FleetResult a = runFleetShard(config, 0, 300);
+    const FleetResult b = runFleetShard(config, 0, 300);
+    expectSeriesEqual(a.cohorts[0], b.cohorts[0]);
+}
+
+TEST(FleetSim, ConservationLaws)
+{
+    const FleetConfig config = baseConfig(400, 1000.0);
+    const FleetResult result = runFleetShard(config, 0, 400);
+    const CohortSeries &series = result.cohorts[0];
+    // Every install is either the initial deployment or a replacement.
+    EXPECT_EQ(series.totalInstalls(),
+              400u + series.totalReplacements());
+    // In-service count stays within [0, dimms] at every epoch, and
+    // removals never outrun installs.
+    std::uint64_t level = 0;
+    for (unsigned e = 0; e < series.epochs(); ++e) {
+        ASSERT_GE(level + series.installs[e], series.removals[e]);
+        level += series.installs[e];
+        level -= series.removals[e];
+        EXPECT_LE(level, 400u);
+    }
+    // Failures were recorded with full attribution.
+    EXPECT_EQ(series.attribution.total(),
+              series.totalDue() + series.totalSdc());
+    EXPECT_GT(series.totalDue() + series.totalSdc(), 0u);
+}
+
+TEST(FleetSim, ReplaceOnDueDisabledMeansNoChurn)
+{
+    FleetConfig config = baseConfig(300, 1000.0);
+    config.setup.policies.replaceOnDue = false;
+    const FleetResult result = runFleetShard(config, 0, 300);
+    const CohortSeries &series = result.cohorts[0];
+    EXPECT_GT(series.totalDue(), 0u);
+    EXPECT_EQ(series.totalReplacements(), 0u);
+    EXPECT_EQ(series.totalInstalls(), 300u);
+    // No retirement policy either, so nothing ever leaves service.
+    for (const std::uint64_t r : series.removals)
+        EXPECT_EQ(r, 0u);
+}
+
+TEST(FleetSim, RetirementPolicyPullsDimms)
+{
+    // Chipkill corrects isolated chip faults, so with retirement
+    // after the first permanent fault the threshold pull fires before
+    // most failures would.
+    FleetConfig config =
+        baseConfig(300, 1000.0, faultsim::SchemeKind::Chipkill);
+    config.setup.policies.retireAfterPermanentFaults = 1;
+    const FleetResult result = runFleetShard(config, 0, 300);
+    const CohortSeries &series = result.cohorts[0];
+    EXPECT_GT(series.totalRetirements(), 0u);
+    // A retirement pulls the DIMM: unless it happened in the final
+    // epoch, a removal follows, then a replacement install after the
+    // configured lag (1 epoch by default).
+    EXPECT_EQ(series.totalInstalls(),
+              300u + series.totalReplacements());
+}
+
+TEST(FleetSim, ReplacementLagDelaysReinstall)
+{
+    FleetConfig quick = baseConfig(300, 1500.0);
+    FleetConfig slow = quick;
+    slow.setup.policies.replacementLagEpochs = 6;
+    const CohortSeries quickSeries =
+        runFleetShard(quick, 0, 300).cohorts[0];
+    const CohortSeries slowSeries =
+        runFleetShard(slow, 0, 300).cohorts[0];
+    // Same failure process, but the lagged fleet spends more epochs
+    // with fewer DIMMs racked: its total in-service DIMM-epochs are
+    // strictly fewer whenever any replacement happened.
+    ASSERT_GT(quickSeries.totalReplacements(), 0u);
+    std::uint64_t quickEpochs = 0, slowEpochs = 0;
+    for (const std::uint64_t v : inServiceSeries(quickSeries))
+        quickEpochs += v;
+    for (const std::uint64_t v : inServiceSeries(slowSeries))
+        slowEpochs += v;
+    EXPECT_LT(slowEpochs, quickEpochs);
+}
+
+TEST(FleetSim, DeployEpochDelaysInstalls)
+{
+    FleetConfig config = baseConfig(100, 0.0);
+    config.setup.cohorts[0].deployEpoch = 5;
+    const CohortSeries series =
+        runFleetShard(config, 0, 100).cohorts[0];
+    const auto inService = inServiceSeries(series);
+    for (unsigned e = 0; e < 5; ++e)
+        EXPECT_EQ(inService[e], 0u);
+    EXPECT_EQ(series.installs[5], 100u);
+    EXPECT_EQ(inService.back(), 100u);
+}
+
+TEST(FleetSim, EmptyRangeAndMergeIdentity)
+{
+    const FleetConfig config = baseConfig(100, 100.0);
+    const FleetResult empty = runFleetShard(config, 50, 50);
+    EXPECT_EQ(empty.cohorts[0].totalInstalls(), 0u);
+    FleetResult merged = runFleetShard(config, 0, 100);
+    const FleetResult reference = runFleetShard(config, 0, 100);
+    merged.merge(empty);
+    merged.merge(FleetResult{}); // default value is the identity
+    expectSeriesEqual(merged.cohorts[0], reference.cohorts[0]);
+}
+
+TEST(FleetSim, CanaryAlertEpochThresholds)
+{
+    CohortSeries series;
+    series.resize(3);
+    series.due = {0, 3, 5};
+    // ceil(0.5 * 10) = 5 DUEs needed: cumulative 0, 3, 8 -> epoch 2.
+    EXPECT_EQ(canaryAlertEpoch(series, 10, 0.5),
+              std::optional<unsigned>(2));
+    // One DUE suffices for any positive threshold at tiny scale.
+    EXPECT_EQ(canaryAlertEpoch(series, 1, 0.001),
+              std::optional<unsigned>(1));
+    // Disabled threshold, empty cohort, or never-reached threshold.
+    EXPECT_EQ(canaryAlertEpoch(series, 10, 0.0), std::nullopt);
+    EXPECT_EQ(canaryAlertEpoch(series, 0, 0.5), std::nullopt);
+    EXPECT_EQ(canaryAlertEpoch(series, 100, 0.5), std::nullopt);
+}
+
+TEST(FleetSim, ProgressCountsSlots)
+{
+    const FleetConfig config = baseConfig(700, 100.0);
+    faultsim::McProgress progress;
+    runFleetShard(config, 0, 700, &progress);
+    EXPECT_EQ(progress.systemsDone.load(), 700u);
+}

@@ -207,5 +207,105 @@ TEST(Histogram, ConcurrentRegistrationAndUpdatesAreLossless)
     EXPECT_EQ(total.count(), threads * (1 + (perThread - 1) / 1024));
 }
 
+// ---- Fleet-scale accumulation ------------------------------------
+// A million-DIMM fleet campaign pushes per-epoch event counts through
+// these histograms for years of simulated time, so the counters must
+// be exact well past 2^32. Direct updates at that scale are too slow
+// for a unit test; repeated self-merge doubles the buckets exactly
+// (merge loads the addend before fetch_add, so merge(self) is 2x).
+
+/** @p doublings exact doublings of @p h via self-merge. */
+void
+doubleHistogram(Histogram &h, unsigned doublings)
+{
+    for (unsigned i = 0; i < doublings; ++i)
+        h.merge(h);
+}
+
+TEST(Histogram, CountsAccumulatePastUint32Exactly)
+{
+    Histogram h;
+    h.update(1.0);
+    h.update(1.0);
+    h.update(1.0);
+    doubleHistogram(h, 33);
+    const std::uint64_t expected = 3ull << 33; // ~2.6e10 > 2^32
+    EXPECT_EQ(h.count(), expected);
+    EXPECT_EQ(h.bucket(Histogram::bucketIndex(1.0)), expected);
+    // A subsequent single update still lands exactly.
+    h.update(1.0);
+    EXPECT_EQ(h.count(), expected + 1);
+}
+
+TEST(Histogram, QuantilesInterpolateAtFleetScaleCounts)
+{
+    // 2^33 samples at 0.5 and 3 * 2^33 at 256.0: the quartile boundary
+    // sits exactly on the low bucket's last sample.
+    Histogram low, high;
+    low.update(0.5);
+    doubleHistogram(low, 33);
+    high.update(256.0);
+    high.update(256.0);
+    high.update(256.0);
+    doubleHistogram(high, 33);
+    Histogram all;
+    all.merge(low);
+    all.merge(high);
+    ASSERT_EQ(all.count(), 4ull << 33);
+
+    const double lowValue =
+        Histogram::bucketValue(Histogram::bucketIndex(0.5));
+    const double highValue =
+        Histogram::bucketValue(Histogram::bucketIndex(256.0));
+    EXPECT_EQ(all.quantile(0.10), lowValue);
+    EXPECT_EQ(all.quantile(0.25), lowValue);
+    EXPECT_EQ(all.quantile(0.26), highValue);
+    EXPECT_EQ(all.quantile(0.90), highValue);
+    EXPECT_EQ(all.quantile(1.0), highValue);
+}
+
+TEST(Histogram, MergeIsAssociativeAcrossShards)
+{
+    // Three shard histograms with overlapping but distinct
+    // distributions, reduced in every association/order: identical
+    // buckets everywhere -- the property the distributed merge and
+    // the fleet per-cohort reductions rely on.
+    Histogram a, b, c;
+    for (unsigned i = 1; i <= 60; ++i) {
+        a.update(0.001 * i);
+        if (i % 2 == 0)
+            b.update(0.5 * i);
+        if (i % 3 == 0)
+            c.update(16.0 * i);
+    }
+    doubleHistogram(a, 30);
+    doubleHistogram(b, 31);
+    doubleHistogram(c, 32);
+
+    Histogram leftFold; // (a + b) + c
+    leftFold.merge(a);
+    leftFold.merge(b);
+    leftFold.merge(c);
+    Histogram rightFold; // a + (b + c)
+    Histogram bc;
+    bc.merge(b);
+    bc.merge(c);
+    rightFold.merge(a);
+    rightFold.merge(bc);
+    Histogram reversed; // c + b + a
+    reversed.merge(c);
+    reversed.merge(b);
+    reversed.merge(a);
+
+    EXPECT_GT(leftFold.count(),
+              std::uint64_t{1} << 32); // fleet-scale totals
+    for (unsigned i = 0; i < Histogram::bucketCount; ++i) {
+        EXPECT_EQ(leftFold.bucket(i), rightFold.bucket(i)) << i;
+        EXPECT_EQ(leftFold.bucket(i), reversed.bucket(i)) << i;
+    }
+    EXPECT_EQ(leftFold.quantile(0.5), rightFold.quantile(0.5));
+    EXPECT_EQ(leftFold.quantile(0.5), reversed.quantile(0.5));
+}
+
 } // namespace
 } // namespace xed
