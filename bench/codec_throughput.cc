@@ -9,11 +9,19 @@
  * BENCH_codecs.json with per-kernel ops/sec and the geomean speedups
  * for the RS-decode and CRC-8 groups.
  *
+ * Batched detection is pinned to the campaign shard geometry (512
+ * words per detectMany call, the batchSize in campaign/runner.cc) so
+ * the reported rate is the rate the shards actually see, and the
+ * detect kernels are additionally swept across every SIMD dispatch
+ * level the host can execute (simd_levels in the JSON).
+ *
  * Knobs: XED_CODEC_OPS scales the per-kernel operation count (default
  * 150000 RS decodes; the cheaper kernels run multiples of it),
  * XED_BENCH_REPEATS (default 3) controls the best-of repetition
  * count, and XED_BENCH_OUT overrides the JSON output path (empty
  * string suppresses the file, e.g. for the perf-smoke ctest label).
+ * --simd=scalar|neon|avx2|avx512 forces the dispatch level for the
+ * whole run (strict parse; a level the host cannot execute fails).
  */
 
 #include <algorithm>
@@ -31,6 +39,7 @@
 #include "common/build_info.hh"
 #include "common/json.hh"
 #include "common/rng.hh"
+#include "common/simd.hh"
 #include "ecc/crc8atm.hh"
 #include "ecc/error_patterns.hh"
 #include "ecc/gf256.hh"
@@ -83,6 +92,11 @@ struct RsCase
 };
 
 constexpr std::size_t poolSize = 256;
+
+/** Words per detectMany call: the campaign shard batch geometry
+ *  (campaign/runner.cc batchSize), pinned so BENCH_codecs.json rates
+ *  are comparable run to run and match what the shards execute. */
+constexpr std::size_t detectBatchWords = 512;
 
 /** Pool of codewords with @p errors random errors + @p erased
  *  erasures at distinct positions (all within capacity). */
@@ -177,11 +191,51 @@ makeWordPool(const Secded7264 &code, std::uint64_t seed)
     return pool;
 }
 
+/** Every SIMD level this host can execute, Scalar first. */
+std::vector<SimdLevel>
+executableLevels()
+{
+    std::vector<SimdLevel> levels;
+    for (const SimdLevel level :
+         {SimdLevel::Scalar, SimdLevel::Neon, SimdLevel::Avx2,
+          SimdLevel::Avx512})
+        if (simdLevelSupported(level))
+            levels.push_back(level);
+    return levels;
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 try {
+    // Strict flag parsing: --simd=LEVEL is the only flag, anything
+    // else (including a malformed level) is a usage error.
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const std::string prefix = "--simd=";
+        if (arg.rfind(prefix, 0) != 0) {
+            std::fprintf(stderr,
+                         "codec_throughput: unknown argument \"%s\" "
+                         "(usage: codec_throughput "
+                         "[--simd=scalar|neon|avx2|avx512])\n",
+                         arg.c_str());
+            return 2;
+        }
+        const auto level = parseSimdLevel(arg.substr(prefix.size()));
+        if (!level) {
+            std::fprintf(stderr,
+                         "codec_throughput: %s: expected "
+                         "--simd=scalar, neon, avx2 or avx512\n",
+                         arg.c_str());
+            return 2;
+        }
+        simdForceLevel(*level, arg); // throws if not executable here
+    }
+    // Captured before the per-level sweep forces other levels, so the
+    // provenance block reflects the level the main table ran at.
+    const json::Value buildJson = buildInfoJson();
+
     const std::uint64_t baseOps =
         bench::envScale("XED_CODEC_OPS", 150000);
     const unsigned repeats = static_cast<unsigned>(
@@ -273,7 +327,22 @@ try {
     }
 
     // --- Batched detection: the pre-PR shard loop (one virtual
-    // isValidCodeword per word) vs. detectMany over the same span.
+    // isValidCodeword per word) vs. detectMany in the pinned shard
+    // geometry (detectBatchWords per call).
+    const auto detectManyRate = [&](const Secded7264 &code,
+                                    std::span<const Word72> span,
+                                    std::uint64_t rounds) {
+        const double sec = bestSeconds(repeats, [&] {
+            std::uint64_t detected = 0;
+            for (std::uint64_t r = 0; r < rounds; ++r)
+                for (std::size_t at = 0; at < span.size();
+                     at += detectBatchWords)
+                    detected += code.detectMany(
+                        span.subspan(at, detectBatchWords));
+            sink = sink + detected;
+        });
+        return static_cast<double>(rounds * span.size()) / sec;
+    };
     const auto benchDetect = [&](const std::string &kernel,
                                  const Secded7264 &code,
                                  const std::vector<Word72> &pool) {
@@ -287,19 +356,39 @@ try {
                     detected += !code.isValidCodeword(word);
             sink = sink + detected;
         });
-        const double afterSec = bestSeconds(repeats, [&] {
-            std::uint64_t detected = 0;
-            for (std::uint64_t r = 0; r < rounds; ++r)
-                detected += code.detectMany(span);
-            sink = sink + detected;
-        });
-        results.push_back(
-            {kernel, "detect", ops / beforeSec, ops / afterSec});
+        results.push_back({kernel, "detect", ops / beforeSec,
+                           detectManyRate(code, span, rounds)});
     };
     const Hamming7264 hamming;
-    benchDetect("hamming_detect_batch", hamming,
-                makeWordPool(hamming, 0x4A11));
-    benchDetect("crc8_detect_batch", crc, makeWordPool(crc, 0xC4C4));
+    const auto hammingPool = makeWordPool(hamming, 0x4A11);
+    const auto crcPool = makeWordPool(crc, 0xC4C4);
+    static_assert(4096 % detectBatchWords == 0,
+                  "word pool must hold whole detect batches");
+    benchDetect("hamming_detect_batch", hamming, hammingPool);
+    benchDetect("crc8_detect_batch", crc, crcPool);
+
+    // --- Per-dispatch-level detect rates: the same pinned-geometry
+    // loop forced to every level this host can execute, so one report
+    // shows what each kernel generation is worth on this machine.
+    struct LevelRate
+    {
+        SimdLevel level;
+        double hammingRate;
+        double crcRate;
+    };
+    std::vector<LevelRate> levelRates;
+    {
+        const SimdLevel resolved = simdLevel();
+        const std::uint64_t rounds = (baseOps * 50) / 4096;
+        for (const SimdLevel level : executableLevels()) {
+            simdForceLevel(level, "--simd sweep");
+            levelRates.push_back(
+                {level,
+                 detectManyRate(hamming, hammingPool, rounds),
+                 detectManyRate(crc, crcPool, rounds)});
+        }
+        simdForceLevel(resolved, "--simd sweep");
+    }
 
     // --- Report.
     std::printf("Codec kernel throughput (base %llu ops, best of %u)\n",
@@ -337,13 +426,29 @@ try {
                 "overall %.2fx\n",
                 rsGeomean, crcGeomean, overallGeomean);
 
+    std::printf("detect words/s by SIMD level (%zu-word batches):\n",
+                detectBatchWords);
+    auto jsonLevels = json::Value::array();
+    for (const LevelRate &lr : levelRates) {
+        std::printf("  %-8s hamming %14.4g   crc8 %14.4g\n",
+                    simdLevelName(lr.level), lr.hammingRate,
+                    lr.crcRate);
+        auto entry = json::Value::object();
+        entry.set("level", simdLevelName(lr.level));
+        entry.set("hamming_detect_batch_ops_per_sec", lr.hammingRate);
+        entry.set("crc8_detect_batch_ops_per_sec", lr.crcRate);
+        jsonLevels.push(std::move(entry));
+    }
+
     if (!outPath.empty()) {
         auto doc = json::Value::object();
         doc.set("bench", "codec_throughput");
         doc.set("base_ops", baseOps);
         doc.set("repeats", repeats);
-        doc.set("build", buildInfoJson());
+        doc.set("detect_batch_words", detectBatchWords);
+        doc.set("build", buildJson);
         doc.set("results", std::move(jsonResults));
+        doc.set("simd_levels", std::move(jsonLevels));
         auto geo = json::Value::object();
         geo.set("rs_decode", rsGeomean);
         geo.set("crc8", crcGeomean);

@@ -8,9 +8,13 @@
 #include <benchmark/benchmark.h>
 
 #include <array>
+#include <cstdio>
 #include <span>
+#include <string>
+#include <vector>
 
 #include "common/rng.hh"
+#include "common/simd.hh"
 #include "ecc/crc8atm.hh"
 #include "ecc/hamming7264.hh"
 #include "ecc/parity_raid3.hh"
@@ -228,4 +232,45 @@ BENCHMARK(BM_XedControllerErasureRead);
 
 } // namespace
 
-BENCHMARK_MAIN();
+/**
+ * BENCHMARK_MAIN() plus one extra flag: --simd=LEVEL forces the
+ * dispatch level (strict parse, fails loudly on garbage or a level
+ * this host cannot execute) before any benchmark runs, so per-level
+ * numbers can be collected from one binary. All other arguments pass
+ * through to google-benchmark untouched.
+ */
+int
+main(int argc, char **argv)
+try {
+    std::vector<char *> passthrough;
+    passthrough.push_back(argv[0]);
+    const std::string prefix = "--simd=";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind(prefix, 0) != 0) {
+            passthrough.push_back(argv[i]);
+            continue;
+        }
+        const auto level =
+            xed::parseSimdLevel(arg.substr(prefix.size()));
+        if (!level) {
+            std::fprintf(stderr,
+                         "micro_codecs: %s: expected --simd=scalar, "
+                         "neon, avx2 or avx512\n",
+                         arg.c_str());
+            return 2;
+        }
+        xed::simdForceLevel(*level, arg); // throws if not executable
+    }
+    int benchArgc = static_cast<int>(passthrough.size());
+    benchmark::Initialize(&benchArgc, passthrough.data());
+    if (benchmark::ReportUnrecognizedArguments(benchArgc,
+                                               passthrough.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+} catch (const std::exception &e) {
+    std::fprintf(stderr, "micro_codecs: %s\n", e.what());
+    return 1;
+}

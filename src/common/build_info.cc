@@ -1,5 +1,7 @@
 #include "common/build_info.hh"
 
+#include "common/simd.hh"
+
 // The XED_BUILD_* macros are injected by src/common/CMakeLists.txt for
 // this translation unit only; fall back loudly when built elsewhere.
 #ifndef XED_BUILD_GIT
@@ -70,6 +72,18 @@ buildInfoJson()
     info.set("buildType", buildType());
     info.set("sanitizer", buildSanitizer());
     info.set("traceCompiled", buildTraceCompiled());
+    // Unlike the configure-time fields above, the SIMD block is
+    // resolved at RUN time: which kernels executed (level), what the
+    // host could have run (detected), and the override that forced a
+    // difference, null when none. Two otherwise-identical BENCH_*.json
+    // entries from different machines stay distinguishable.
+    auto simd = json::Value::object();
+    simd.set("level", simdLevelName(simdLevel()));
+    simd.set("detected", simdLevelName(simdDetectedLevel()));
+    const std::string ovr = simdOverride();
+    simd.set("override",
+             ovr.empty() ? json::Value(nullptr) : json::Value(ovr));
+    info.set("simd", std::move(simd));
     return info;
 }
 

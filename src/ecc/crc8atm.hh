@@ -24,6 +24,7 @@
 #include <cstdint>
 
 #include "ecc/code.hh"
+#include "ecc/detect_simd.hh"
 
 namespace xed::ecc
 {
@@ -90,6 +91,8 @@ class Crc8Atm : public Secded7264
     std::array<std::array<std::uint8_t, 256>, 9> slice_{};
     /** syndrome -> codeword position + 1, or 0 if not a 1-bit pattern. */
     std::array<std::uint8_t, 256> singleBitPos_{};
+    /** Split-nibble form of slice_ for the vector detect kernels. */
+    detail::SecdedNibbleTables nib_{};
 };
 
 } // namespace xed::ecc

@@ -18,6 +18,7 @@
 #include <cstdint>
 
 #include "ecc/code.hh"
+#include "ecc/detect_simd.hh"
 
 namespace xed::ecc
 {
@@ -55,6 +56,8 @@ class Hamming7264 : public Secded7264
     std::array<std::uint8_t, 256> singleBitPos_{};
     /** Per-byte syndrome tables: 9 byte lanes x 256 values. */
     std::array<std::array<std::uint8_t, 256>, 9> synTable_{};
+    /** Split-nibble form of synTable_ for the vector detect kernels. */
+    detail::SecdedNibbleTables nib_{};
 };
 
 } // namespace xed::ecc

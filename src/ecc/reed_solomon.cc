@@ -106,6 +106,14 @@ ReedSolomon::ReedSolomon(unsigned n, unsigned k)
             GF256::groupOrder - (deg % GF256::groupOrder));
         posX_[p] = gf_.expAlpha(deg);
     }
+    if (fitsScratch()) {
+        constexpr unsigned maxDeg = RsScratch::maxPoly + RsScratch::maxR;
+        chienPow_.resize(static_cast<std::size_t>(maxDeg) * n_);
+        for (unsigned d = 0; d < maxDeg; ++d)
+            for (unsigned p = 0; p < n_; ++p)
+                chienPow_[static_cast<std::size_t>(d) * n_ + p] =
+                    gf_.pow(chienXinv_[p], d);
+    }
 }
 
 void
@@ -190,6 +198,47 @@ ReedSolomon::isValidCodeword(std::span<const std::uint8_t> received) const
             return false;
     }
     return true;
+}
+
+std::size_t
+ReedSolomon::countInvalidSoa(std::span<const std::uint8_t> soa,
+                             std::size_t count) const
+{
+    if (soa.size() != static_cast<std::size_t>(n_) * count)
+        throw std::invalid_argument(
+            "RS countInvalidSoa: span must hold n * count symbols");
+    const unsigned r = numCheck();
+    std::size_t invalid = 0;
+    // Fixed-size stack lanes keep the working set in L1 and the kernel
+    // allocation-free for any count.
+    constexpr std::size_t chunk = 512;
+    std::uint8_t acc[chunk];
+    std::uint8_t bad[chunk];
+    for (std::size_t base = 0; base < count; base += chunk) {
+        const std::size_t m = std::min(chunk, count - base);
+        std::fill(bad, bad + m, 0);
+        for (unsigned j = 0; j < r; ++j) {
+            // Horner over symbols (degree-descending, as syndromes()):
+            // acc = acc * alpha^j ^ soa[i]; the multiplier is constant
+            // across the lane, so each step is one mulConstInto pass.
+            const std::uint8_t x = gf_.expAlpha(j);
+            std::fill(acc, acc + m, 0);
+            for (unsigned i = 0; i < n_; ++i) {
+                const std::uint8_t *lane =
+                    soa.data() + static_cast<std::size_t>(i) * count +
+                    base;
+                if (j != 0)
+                    gf_.mulConstInto(x, acc, acc, m);
+                for (std::size_t c = 0; c < m; ++c)
+                    acc[c] ^= lane[c];
+            }
+            for (std::size_t c = 0; c < m; ++c)
+                bad[c] |= acc[c];
+        }
+        for (std::size_t c = 0; c < m; ++c)
+            invalid += bad[c] != 0;
+    }
+    return invalid;
 }
 
 std::vector<std::uint8_t>
@@ -359,9 +408,24 @@ ReedSolomon::decodeScratch(std::uint8_t *received, const unsigned *erasures,
         for (unsigned j = 0; j < gammaSize; ++j)
             s.psi[i + j] ^= row[s.gamma[j]];
     }
+    // Evaluate Psi at every probe point per degree rather than per
+    // position: evals[p] = XOR_d psi[d] * chienXinv_[p]^d, each degree
+    // a constant-multiplier pass over the precomputed power row (the
+    // vector GF kernels). Same field sum as the Horner chain, so the
+    // zero set -- and every downstream byte -- is unchanged.
+    assert(!chienPow_.empty());
+    std::fill(s.evals.begin(), s.evals.begin() + n_, s.psi[0]);
+    for (unsigned d = 1; d < psiSize; ++d) {
+        if (s.psi[d] == 0)
+            continue;
+        gf_.mulConstXorInto(s.psi[d],
+                            chienPow_.data() +
+                                static_cast<std::size_t>(d) * n_,
+                            s.evals.data(), n_);
+    }
     unsigned numPositions = 0;
     for (unsigned p = 0; p < n_; ++p)
-        if (polyEvalArray(gf_, s.psi.data(), psiSize, chienXinv_[p]) == 0)
+        if (s.evals[p] == 0)
             s.positions[numPositions++] = p;
     if (numPositions != degreeOfArray(s.psi.data(), psiSize)) {
         result.status = RsStatus::Failure;

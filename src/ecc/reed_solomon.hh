@@ -79,6 +79,8 @@ struct RsScratch
     std::array<std::uint8_t, maxPoly + maxR> psiDeriv;
     std::array<std::uint8_t, maxR> omega;
     std::array<unsigned, maxN> positions;
+    /** Chien evaluations Psi(alpha^{-deg(p)}) for all n positions. */
+    std::array<std::uint8_t, maxN> evals;
 };
 
 class ReedSolomon
@@ -145,6 +147,18 @@ class ReedSolomon
      */
     bool isValidCodeword(std::span<const std::uint8_t> received) const;
 
+    /**
+     * Batch validity over a structure-of-arrays block: @p soa holds
+     * @p count codewords symbol-major, soa[i * count + c] = symbol i
+     * of codeword c. Returns how many codewords have a nonzero
+     * syndrome. The Horner multiplier per syndrome is a constant
+     * (alpha^j), so the whole lane runs through the vector
+     * GF256::mulConstInto() kernels; the result is identical to
+     * calling isValidCodeword() per codeword at every dispatch level.
+     */
+    std::size_t countInvalidSoa(std::span<const std::uint8_t> soa,
+                                std::size_t count) const;
+
   private:
     /** Map a data-first index to the polynomial degree position. */
     unsigned degreeOf(unsigned index) const { return n_ - 1 - index; }
@@ -179,6 +193,14 @@ class ReedSolomon
     std::vector<const std::uint8_t *> synRow_;
     /** chienXinv_[p] = alpha^{-deg(p)}: the Chien/Forney probe point. */
     std::vector<std::uint8_t> chienXinv_;
+    /**
+     * chienPow_[d * n + p] = chienXinv_[p]^d for every locator degree
+     * d < maxPoly + maxR, so the Chien search evaluates Psi across all
+     * n positions as per-degree constant-multiplier passes over these
+     * rows (vectorizable) instead of per-position Horner chains. Built
+     * only for codes that fit RsScratch; empty otherwise.
+     */
+    std::vector<std::uint8_t> chienPow_;
     /** posX_[p] = alpha^{deg(p)}: the Forney magnitude factor. */
     std::vector<std::uint8_t> posX_;
 };

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/env.hh"
+#include "faultsim/zero_filter.hh"
 #include "obs/trace.hh"
 
 namespace xed::faultsim
@@ -80,7 +81,7 @@ runShard(const Scheme &scheme, const McConfig &config,
     std::uint64_t systemsTotal = 0;
 
     const std::uint64_t mixedSeed = Rng::mixSeed(config.seed);
-    for (std::uint64_t s = begin; s < end; ++s) {
+    const auto simulateSystem = [&](std::uint64_t s) {
         Rng rng = Rng::streamMixed(mixedSeed, s);
         SchemeFailure fail;
         fail.timeHours = -1;
@@ -111,9 +112,48 @@ runShard(const Scheme &scheme, const McConfig &config,
                                            fail.outcome});
             ++batchedFailures;
         }
-        if (++batchedSystems == progressBatch)
+        if (++batchedSystems >= progressBatch)
             flushProgress();
+    };
+
+    // Vector zero-fault filter (Knuth sampler only: its zero test is
+    // one draw + compare per channel). A batch whose streams are all
+    // provably zero-fault is credited without constructing a single
+    // Rng -- identical bookkeeping to simulating each zero system --
+    // and every other lane re-runs the unmodified scalar body from a
+    // freshly derived stream, in ascending order. Results are
+    // byte-identical at every level; only the time changes.
+    const SimdLevel level = simdLevel();
+    const unsigned filterWidth =
+        config.sampler == PoissonSampler::Knuth ? zeroFilterWidth(level)
+                                                : 0;
+    std::uint64_t s = begin;
+    if (filterWidth != 0) {
+        const std::uint32_t allZero = (1u << filterWidth) - 1;
+        for (; s + filterWidth <= end; s += filterWidth) {
+            const std::uint32_t zeroMask =
+                zeroFaultMask(level, mixedSeed, s, filterWidth,
+                              config.channels, ctx.knuthZeroMax());
+            if (zeroMask == allZero) {
+                systemsTotal += filterWidth;
+                batchedSystems += filterWidth;
+                if (batchedSystems >= progressBatch)
+                    flushProgress();
+                continue;
+            }
+            for (unsigned i = 0; i < filterWidth; ++i) {
+                if (zeroMask & (1u << i)) {
+                    ++systemsTotal;
+                    if (++batchedSystems >= progressBatch)
+                        flushProgress();
+                } else {
+                    simulateSystem(s + i);
+                }
+            }
+        }
     }
+    for (; s < end; ++s)
+        simulateSystem(s);
     flushProgress();
     for (unsigned y = 1; y <= creditYears; ++y)
         partial.failByYear[y].addMany(failByYear[y], systemsTotal);

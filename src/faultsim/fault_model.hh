@@ -171,6 +171,10 @@ class SampleContext
     }
 
     double totalFit() const { return totalFit_; }
+    /** The Knuth zero-draw threshold: a raw 53-bit draw at or below
+     *  this is a zero-fault lifetime. Exposed for the vectorized
+     *  zero-fault filter (zero_filter.hh). */
+    std::uint64_t knuthZeroMax() const { return knuthZeroMax_; }
     double lambda() const { return lambda_; }
     double expNegLambda() const { return expNegLambda_; }
     double hours() const { return hours_; }

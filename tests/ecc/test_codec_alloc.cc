@@ -25,6 +25,7 @@
 #include "campaign/runner.hh"
 #include "campaign/spec.hh"
 #include "common/rng.hh"
+#include "common/simd.hh"
 #include "obs/trace.hh"
 #include "ecc/crc8atm.hh"
 #include "ecc/error_patterns.hh"
@@ -202,6 +203,61 @@ TEST(CodecAllocation, HammingDecodeIsAllocationFree)
 TEST(CodecAllocation, Crc8DecodeIsAllocationFree)
 {
     checkSecdedDecodeAllocationFree<Crc8Atm>(0xC4C4);
+}
+
+TEST(CodecAllocation, BatchKernelsAllocationFreeAtEveryLevel)
+{
+    // The SIMD batch kernels (detectMany, GF constant rows, the RS
+    // SoA validity sweep) must stay allocation-free at EVERY dispatch
+    // level, not just the detected one. Level forcing and all buffers
+    // live outside the counted window (simdForceLevel stores the
+    // origin string).
+    std::vector<SimdLevel> levels;
+    for (const SimdLevel level :
+         {SimdLevel::Scalar, SimdLevel::Neon, SimdLevel::Avx2,
+          SimdLevel::Avx512})
+        if (simdLevelSupported(level))
+            levels.push_back(level);
+    const SimdLevel original = simdLevel();
+
+    const Hamming7264 hamming;
+    const Crc8Atm crc;
+    const ReedSolomon rs(18, 16);
+    const GF256 &gf = GF256::instance();
+    Rng rng(0x51A110C);
+
+    std::vector<Word72> batch(513);
+    const Word72 clean = hamming.encode(0xDEADBEEFCAFEF00Dull);
+    for (Word72 &word : batch)
+        word = clean ^ randomPattern(rng, 1 + rng.below(8));
+
+    constexpr std::size_t soaCount = 64;
+    std::vector<std::uint8_t> soa(rs.n() * soaCount);
+    for (auto &symbol : soa)
+        symbol = static_cast<std::uint8_t>(rng.below(256));
+    std::vector<std::uint8_t> gfSrc(513), gfDst(513);
+    for (auto &symbol : gfSrc)
+        symbol = static_cast<std::uint8_t>(rng.below(256));
+
+    for (const SimdLevel level : levels) {
+        simdForceLevel(level, "test");
+        const std::uint64_t before = allocations();
+        std::uint64_t observed = 0;
+        observed +=
+            hamming.detectMany(std::span<const Word72>(batch));
+        observed += crc.detectMany(std::span<const Word72>(batch));
+        gf.mulConstInto(0x53, gfSrc.data(), gfDst.data(),
+                        gfSrc.size());
+        gf.mulConstXorInto(0xA7, gfSrc.data(), gfDst.data(),
+                           gfSrc.size());
+        observed += gfDst[0];
+        observed += rs.countInvalidSoa(
+            std::span<const std::uint8_t>(soa), soaCount);
+        EXPECT_EQ(allocations() - before, 0u)
+            << simdLevelName(level) << " batch kernels allocated ("
+            << observed << " observed)";
+    }
+    simdForceLevel(original, "test");
 }
 
 TEST(CodecAllocation, ChipkillReadPathSteadyStateIsAllocationFree)

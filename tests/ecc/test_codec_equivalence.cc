@@ -5,8 +5,11 @@
  * byte-identical results to the frozen pre-optimization implementations
  * in tests/support/codec_reference.* -- same statuses, same corrected
  * words, same syndromes, same RNG draw order for the batched pattern
- * generators. Together with the golden_table2 stdout fixture this pins
- * the PR's bit-identicality contract.
+ * generators. The AcrossSimdLevels suites force every dispatch level
+ * the host can execute (DESIGN.md section 4i) through the real
+ * dispatch and demand the same bytes from each. Together with the
+ * golden_table2 stdout fixture this pins the PR's bit-identicality
+ * contract.
  */
 
 #include <gtest/gtest.h>
@@ -17,6 +20,7 @@
 #include <vector>
 
 #include "common/rng.hh"
+#include "common/simd.hh"
 #include "ecc/crc8atm.hh"
 #include "ecc/error_patterns.hh"
 #include "ecc/hamming7264.hh"
@@ -211,6 +215,135 @@ TEST(CodecEquivalence, DetectManyMatchesScalarLoopHamming)
 TEST(CodecEquivalence, DetectManyMatchesScalarLoopCrc8)
 {
     checkDetectMany<Crc8Atm>(0xC4C4);
+}
+
+/** Every SIMD level this host can execute, Scalar first. */
+std::vector<SimdLevel>
+executableLevels()
+{
+    std::vector<SimdLevel> levels;
+    for (const SimdLevel level :
+         {SimdLevel::Scalar, SimdLevel::Neon, SimdLevel::Avx2,
+          SimdLevel::Avx512})
+        if (simdLevelSupported(level))
+            levels.push_back(level);
+    return levels;
+}
+
+/** Force a dispatch level for one scope; restores the previous one. */
+class ScopedSimdLevel
+{
+  public:
+    explicit ScopedSimdLevel(SimdLevel level) : prev_(simdLevel())
+    {
+        simdForceLevel(level, "test");
+    }
+    ~ScopedSimdLevel() { simdForceLevel(prev_, "test"); }
+    ScopedSimdLevel(const ScopedSimdLevel &) = delete;
+    ScopedSimdLevel &operator=(const ScopedSimdLevel &) = delete;
+
+  private:
+    SimdLevel prev_;
+};
+
+/**
+ * detectMany through the real dispatch at every executable level, for
+ * every batch size 1..513 and every element offset 0..3 into the pool
+ * (word alignment 16 bytes, so offsets cover all head misalignments
+ * relative to the 32/64-byte vector blocks). The reference count comes
+ * from per-word isValidCodeword(), independent of any batch kernel.
+ */
+template <typename Code>
+void
+checkDetectManyAcrossLevels(std::uint64_t seed)
+{
+    const Code code;
+    Rng rng(seed);
+    constexpr std::size_t maxBatch = 513;
+    constexpr std::size_t maxOffset = 3;
+    std::vector<Word72> pool(maxBatch + maxOffset);
+    const Word72 clean = code.encode(0xFEEDFACECAFEBEEFull);
+    for (Word72 &word : pool) {
+        word = clean;
+        if (rng.bernoulli(0.6))
+            word ^= randomPattern(rng, 1 + rng.below(8));
+    }
+    for (std::size_t offset = 0; offset <= maxOffset; ++offset) {
+        // prefix[i] = invalid words among pool[offset .. offset+i).
+        std::vector<std::size_t> prefix(maxBatch + 1, 0);
+        for (std::size_t i = 0; i < maxBatch; ++i)
+            prefix[i + 1] =
+                prefix[i] + !code.isValidCodeword(pool[offset + i]);
+        for (const SimdLevel level : executableLevels()) {
+            const ScopedSimdLevel forced(level);
+            for (std::size_t size = 1; size <= maxBatch; ++size)
+                ASSERT_EQ(code.detectMany(std::span<const Word72>(
+                              pool.data() + offset, size)),
+                          prefix[size])
+                    << simdLevelName(level) << " offset " << offset
+                    << " size " << size;
+        }
+    }
+}
+
+TEST(CodecEquivalence, DetectManyIdenticalAcrossSimdLevelsHamming)
+{
+    checkDetectManyAcrossLevels<Hamming7264>(0x51AD1);
+}
+
+TEST(CodecEquivalence, DetectManyIdenticalAcrossSimdLevelsCrc8)
+{
+    checkDetectManyAcrossLevels<Crc8Atm>(0x51AD2);
+}
+
+/**
+ * RS decode (the Chien search runs on the GF(2^8) mulConstXorInto
+ * batch kernels) must return byte-identical words and statuses at
+ * every dispatch level.
+ */
+TEST(CodecEquivalence, RsDecodeIdenticalAcrossSimdLevels)
+{
+    for (const RsShape shape : shapes) {
+        const ReedSolomon rs(shape.n, shape.k);
+        RsScratch scratch;
+        Rng rng(0x51D5 + shape.n);
+        std::vector<RsCase> cases;
+        for (unsigned trial = 0; trial < 4000; ++trial)
+            cases.push_back(makeCase(rng, rs));
+
+        std::vector<std::vector<std::uint8_t>> scalarWords;
+        std::vector<RsResult> scalarResults;
+        {
+            const ScopedSimdLevel forced(SimdLevel::Scalar);
+            for (const RsCase &c : cases) {
+                std::vector<std::uint8_t> word = c.received;
+                scalarResults.push_back(rs.decode(
+                    std::span<std::uint8_t>(word),
+                    std::span<const unsigned>(c.erasures), scratch));
+                scalarWords.push_back(std::move(word));
+            }
+        }
+        for (const SimdLevel level : executableLevels()) {
+            if (level == SimdLevel::Scalar)
+                continue;
+            const ScopedSimdLevel forced(level);
+            for (std::size_t i = 0; i < cases.size(); ++i) {
+                std::vector<std::uint8_t> word = cases[i].received;
+                const RsResult result = rs.decode(
+                    std::span<std::uint8_t>(word),
+                    std::span<const unsigned>(cases[i].erasures),
+                    scratch);
+                ASSERT_EQ(static_cast<int>(result.status),
+                          static_cast<int>(scalarResults[i].status))
+                    << simdLevelName(level) << " case " << i;
+                ASSERT_EQ(result.numErrors, scalarResults[i].numErrors);
+                ASSERT_EQ(result.numErasures,
+                          scalarResults[i].numErasures);
+                ASSERT_EQ(word, scalarWords[i])
+                    << simdLevelName(level) << " case " << i;
+            }
+        }
+    }
 }
 
 /** Batched pattern fills must consume the RNG in scalar draw order. */
