@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the committed BENCH_*.json baselines.
+
+Compares fresh bench output against the baselines checked into the
+repository root and fails when any throughput metric regresses beyond
+the tolerance:
+
+    scripts/bench_compare.py [--tolerance FRAC] [--baseline-dir DIR] \
+        FRESH.json [FRESH.json ...]
+
+Each FRESH.json is matched to <baseline-dir>/<basename>. A *metric* is
+any numeric JSON leaf whose key ends in ``_per_sec`` (throughput,
+higher is better); list entries are identified by their ``kernel`` /
+``scheme`` / ``level`` / ``name`` field so the comparison survives
+reordering. The gate prints a per-metric delta table and exits
+nonzero if
+
+  * a fresh rate falls below ``baseline * (1 - tolerance)``, or
+  * a baseline metric is missing from the fresh run (a silently
+    dropped bench stage -- the failure mode that lost BENCH_fleet.json).
+
+Metrics that are new in the fresh run are reported but never fail the
+gate (they become baselines once committed). The default tolerance of
+0.35 absorbs ordinary machine noise while still catching a real kernel
+regression; CI smoke runs pass ``--tolerance inf`` to validate only
+that the schema and metric sets still line up. Stdlib only.
+"""
+
+import argparse
+import json
+import math
+import os
+import sys
+
+
+def is_number(value):
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def entry_label(entry, index):
+    """Stable label for a list entry: its identifying field, else index."""
+    if isinstance(entry, dict):
+        for key in ("kernel", "scheme", "level", "name", "label"):
+            if key in entry and isinstance(entry[key], str):
+                return entry[key]
+    return str(index)
+
+
+def collect_metrics(node, path, out):
+    """Walk the JSON tree, recording numeric *_per_sec leaves by path."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            if is_number(value) and key.endswith("_per_sec"):
+                out[f"{path}.{key}" if path else key] = float(value)
+            else:
+                collect_metrics(value,
+                                f"{path}.{key}" if path else key, out)
+    elif isinstance(node, list):
+        for index, entry in enumerate(node):
+            label = entry_label(entry, index)
+            collect_metrics(entry,
+                            f"{path}[{label}]" if path else f"[{label}]",
+                            out)
+
+
+def load_metrics(path):
+    with open(path, "rb") as handle:
+        doc = json.load(handle)
+    metrics = {}
+    collect_metrics(doc, "", metrics)
+    return metrics
+
+
+def compare_file(fresh_path, baseline_path, tolerance):
+    """Returns (ok, lines): the verdict and the report rows."""
+    lines = []
+    fresh = load_metrics(fresh_path)
+    baseline = load_metrics(baseline_path)
+    if not baseline:
+        return False, [f"  no *_per_sec metrics in {baseline_path}"]
+    ok = True
+    floor = 1.0 - tolerance
+    width = max(len(k) for k in set(baseline) | set(fresh))
+    lines.append(f"  {'metric':<{width}}  {'baseline':>12}"
+                 f"  {'fresh':>12}  {'delta':>9}")
+    for key in sorted(baseline):
+        base = baseline[key]
+        if key not in fresh:
+            lines.append(f"  {key:<{width}}  MISSING from fresh run")
+            ok = False
+            continue
+        rate = fresh[key]
+        ratio = rate / base if base > 0 else math.inf
+        verdict = "ok"
+        if math.isfinite(tolerance) and ratio < floor:
+            verdict = "REGRESSION"
+            ok = False
+        lines.append(f"  {key:<{width}}  {base:12.4g}  {rate:12.4g}"
+                     f"  {100.0 * (ratio - 1.0):+8.1f}%  {verdict}")
+    for key in sorted(set(fresh) - set(baseline)):
+        lines.append(f"  {key:<{width}}  {'':12}  {fresh[key]:12.4g}"
+                     f"  {'':8}   new (no baseline)")
+    return ok, lines
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="compare fresh BENCH_*.json against the committed "
+                    "baselines")
+    parser.add_argument("fresh", nargs="+",
+                        help="fresh bench JSON file(s)")
+    parser.add_argument("--tolerance", type=float, default=0.35,
+                        help="allowed fractional slowdown before a "
+                             "metric fails (default 0.35; 'inf' checks "
+                             "schema/metric parity only)")
+    parser.add_argument("--baseline-dir", default=None,
+                        help="directory holding the committed baselines "
+                             "(default: the repository root above this "
+                             "script)")
+    args = parser.parse_args()
+    if args.tolerance < 0:
+        parser.error("--tolerance must be >= 0")
+
+    baseline_dir = args.baseline_dir
+    if baseline_dir is None:
+        baseline_dir = os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__)))
+
+    all_ok = True
+    for fresh_path in args.fresh:
+        baseline_path = os.path.join(baseline_dir,
+                                     os.path.basename(fresh_path))
+        print(f"{os.path.basename(fresh_path)}: fresh {fresh_path} vs "
+              f"baseline {baseline_path}")
+        if not os.path.exists(baseline_path):
+            print("  baseline missing -- commit one with "
+                  "scripts/bench_throughput.sh")
+            all_ok = False
+            continue
+        try:
+            ok, lines = compare_file(fresh_path, baseline_path,
+                                     args.tolerance)
+        except (OSError, ValueError) as error:
+            print(f"  unreadable: {error}")
+            all_ok = False
+            continue
+        for line in lines:
+            print(line)
+        all_ok = all_ok and ok
+
+    if not all_ok:
+        print("bench_compare: FAIL")
+        return 1
+    print(f"bench_compare: OK (tolerance {args.tolerance})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,26 @@
+#!/bin/sh
+# Tiny-run smoke of the perf-regression gate (ctest -L perf-smoke):
+# regenerate a toy-scale BENCH_codecs.json and run bench_compare.py
+# against the committed baseline with an infinite tolerance. Toy-scale
+# rates are meaningless, so the smoke asserts only what CI can: the
+# gate parses both sides and every baseline metric is still emitted.
+#
+#   scripts/bench_compare_smoke.sh <codec_throughput-binary> <workdir>
+set -eu
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+codec_bench=$1
+work=$2
+
+if ! command -v python3 >/dev/null 2>&1; then
+    echo "bench_compare_smoke: python3 not found; skipping" >&2
+    exit 0
+fi
+
+mkdir -p "$work"
+rm -f "$work/BENCH_codecs.json"
+XED_CODEC_OPS=2000 XED_BENCH_REPEATS=1 \
+    XED_BENCH_OUT="$work/BENCH_codecs.json" \
+    "$codec_bench" > /dev/null
+python3 "$repo/scripts/bench_compare.py" --tolerance inf \
+    --baseline-dir "$repo" "$work/BENCH_codecs.json"

@@ -27,7 +27,14 @@ run_stage() {
         echo "  cmake -B \"$build\" -S \"$repo\" && cmake --build \"$build\" --target $1" >&2
         exit 1
     fi
+    rm -f "$out"
     XED_BENCH_OUT="$out" "$bench"
+    # A stage that exits 0 but writes no JSON is a silent baseline
+    # loss (how BENCH_fleet.json went missing); fail loudly instead.
+    if [ ! -s "$out" ]; then
+        echo "bench_throughput: stage $1 produced no JSON at $out" >&2
+        exit 1
+    fi
 }
 
 case "$stage" in

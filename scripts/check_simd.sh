@@ -53,6 +53,36 @@ for level in scalar native; do
         "$work/store.$level.jsonl.telemetry.jsonl"
     "$build/src/campaign/xed_campaign" run "$repo/specs/smoke.json" \
         --out "$work/store.$level.jsonl" --quiet
+
+    # Faulty-path batch knob (DESIGN.md section 4j): a table2 campaign
+    # store must be byte-identical with XED_MC_EVAL_BATCH at 1, 8 and
+    # its default -- the knob schedules work, it must never reach the
+    # results or the spec hash.
+    for batch in 1 8 default; do
+        if [ "$batch" = default ]; then
+            unset XED_MC_EVAL_BATCH || true
+        else
+            XED_MC_EVAL_BATCH=$batch
+            export XED_MC_EVAL_BATCH
+        fi
+        rm -f "$work/table2store.$level.$batch.jsonl" \
+            "$work/table2store.$level.$batch.jsonl.telemetry.jsonl"
+        XED_TRIALS=20000 "$build/src/campaign/xed_campaign" run \
+            "$repo/specs/table2.json" \
+            --out "$work/table2store.$level.$batch.jsonl" --quiet
+    done
+    unset XED_MC_EVAL_BATCH || true
+done
+
+# Sanity: the batch knob is strict -- an explicit 0 (and garbage) must
+# fail loudly, not resolve to some batch size.
+for bogus in 0 abc; do
+    if XED_MC_EVAL_BATCH=$bogus "$build/src/campaign/xed_campaign" run \
+        "$repo/specs/smoke.json" \
+        --out "$work/store.bogus.jsonl" --quiet >/dev/null 2>&1; then
+        echo "check_simd: XED_MC_EVAL_BATCH=$bogus was silently accepted" >&2
+        exit 1
+    fi
 done
 
 # Byte-for-byte: scalar vs native, and both vs the committed fixtures.
@@ -61,5 +91,13 @@ cmp "$work/table2.scalar.txt" "$work/table2.native.txt"
 cmp "$work/fig07.scalar.txt" "$repo/tests/golden/fig07_20000.txt"
 cmp "$work/table2.scalar.txt" "$repo/tests/golden/table2_20000.txt"
 cmp "$work/store.scalar.jsonl" "$work/store.native.jsonl"
+
+# The table2 store: identical across levels and across the batch knob.
+for level in scalar native; do
+    for batch in 1 8 default; do
+        cmp "$work/table2store.scalar.1.jsonl" \
+            "$work/table2store.$level.$batch.jsonl"
+    done
+done
 
 echo "SIMD byte-identity check passed (scalar == native == fixtures)"

@@ -559,6 +559,8 @@ parseSpec(const json::Value &doc, std::string *error)
 
     spec.seed = reader.getUint("seed", 0, true);
     spec.threads = static_cast<unsigned>(reader.getUint("threads", 0));
+    spec.evalBatch =
+        static_cast<unsigned>(reader.getUint("evalBatch", 0));
 
     if (reader.ok()) {
         if (spec.kind == CampaignKind::Reliability)
@@ -805,6 +807,7 @@ mcConfigFor(const CampaignSpec &spec, unsigned point)
     cfg.sampler = spec.sampler;
     cfg.fit = spec.fit;
     cfg.threads = 1; // the campaign runner parallelizes over shards
+    cfg.evalBatch = spec.evalBatch;
     if (spec.sweep.active()) {
         const double value = spec.sweep.values[point];
         if (spec.sweep.parameter == "scrubIntervalHours")

@@ -53,8 +53,8 @@ Chip::write(const WordAddr &addr, std::uint64_t data)
     slot.writeEpoch = ++epoch_;
 }
 
-ChipReadResult
-Chip::read(const WordAddr &addr)
+ecc::Word72
+Chip::rawCodeword(const WordAddr &addr) const
 {
     const std::uint64_t packed = packWordAddr(geometry_, addr);
     ecc::Word72 codeword;
@@ -66,10 +66,14 @@ Chip::read(const WordAddr &addr)
     } else {
         codeword = backgroundWord(packed);
     }
-
     codeword ^= injector_.corruption(addr, writeEpoch);
+    return codeword;
+}
 
-    const auto decoded = code_.decode(codeword);
+ChipReadResult
+Chip::read(const WordAddr &addr)
+{
+    const auto decoded = code_.decode(rawCodeword(addr));
     ChipReadResult result;
     result.internalStatus = decoded.status;
     if (xedEnable_ && decoded.status != ecc::DecodeStatus::NoError) {

@@ -78,6 +78,28 @@ struct EvalScratch
     std::vector<FaultEvent> visible; ///< events reaching the DIMM code
     std::vector<FaultEvent> escaped; ///< detection-escaped word faults
 
+    /**
+     * Cached scaling-interaction probabilities. The helpers behind
+     * every bernoulli draw (bitClassEscapeProb and friends) call
+     * std::pow with arguments that are fixed for a whole run (the
+     * scaling rate and the row width), so each worker computes the
+     * four possible results once and replays the cached doubles. The
+     * cache is keyed so a scratch reused across configurations
+     * re-primes; replaying an identical double yields an identical
+     * bernoulli draw, so caching cannot change any result.
+     */
+    struct ProbCache
+    {
+        bool primed = false;
+        double scalingRate = 0; ///< key: OnDieOptions::scalingRate
+        unsigned rowBits = 0;   ///< key: AddressLayout::rowBits
+        double escapeBit = 0;
+        double escapeColumn = 0;
+        double secdedBit = 0;
+        double secdedColumn = 0;
+    };
+    ProbCache prob;
+
     void
     reserve(std::size_t n)
     {

@@ -52,6 +52,50 @@ bitClassSecdedDueProb(FaultKind kind, const AddressLayout &layout,
     return 1.0 - std::pow(1.0 - perWord, rows);
 }
 
+/**
+ * Prime (if stale) and consult the scratch probability cache: the
+ * per-kind pow() results above are fixed for a whole run, so each
+ * worker computes them once and replays the exact same doubles --
+ * identical doubles feed identical bernoulli draws.
+ */
+const EvalScratch::ProbCache &
+primedProbCache(const AddressLayout &layout, double scalingRate,
+                EvalScratch &scratch)
+{
+    auto &cache = scratch.prob;
+    if (!cache.primed || cache.scalingRate != scalingRate ||
+        cache.rowBits != layout.rowBits) {
+        cache.primed = true;
+        cache.scalingRate = scalingRate;
+        cache.rowBits = layout.rowBits;
+        cache.escapeBit =
+            bitClassEscapeProb(FaultKind::Bit, layout, scalingRate);
+        cache.escapeColumn =
+            bitClassEscapeProb(FaultKind::Column, layout, scalingRate);
+        cache.secdedBit =
+            bitClassSecdedDueProb(FaultKind::Bit, layout, scalingRate);
+        cache.secdedColumn =
+            bitClassSecdedDueProb(FaultKind::Column, layout, scalingRate);
+    }
+    return cache;
+}
+
+double
+cachedEscapeProb(FaultKind kind, const AddressLayout &layout,
+                 double scalingRate, EvalScratch &scratch)
+{
+    const auto &cache = primedProbCache(layout, scalingRate, scratch);
+    return kind == FaultKind::Bit ? cache.escapeBit : cache.escapeColumn;
+}
+
+double
+cachedSecdedDueProb(FaultKind kind, const AddressLayout &layout,
+                    double scalingRate, EvalScratch &scratch)
+{
+    const auto &cache = primedProbCache(layout, scalingRate, scratch);
+    return kind == FaultKind::Bit ? cache.secdedBit : cache.secdedColumn;
+}
+
 /** Beat index (0..7) of a bit-class fault's fixed bit position. */
 unsigned
 beatOf(const FaultRange &range)
@@ -216,7 +260,7 @@ class NonEccScheme : public SchemeBase
     std::optional<SchemeFailure>
     evaluateGroup(std::span<const FaultEvent> events,
                   const AddressLayout &layout, Rng &rng,
-                  EvalScratch &) const override
+                  EvalScratch &scratch) const override
     {
         std::optional<SchemeFailure> best;
         for (const auto &e : events) {
@@ -235,8 +279,9 @@ class NonEccScheme : public SchemeBase
                               obs::DetectionOutcome::RawPassthrough,
                               faultKindBit(e)});
             } else if (onDie_.scalingRate > 0 &&
-                       rng.bernoulli(bitClassEscapeProb(
-                           e.kind, layout, onDie_.scalingRate))) {
+                       rng.bernoulli(cachedEscapeProb(
+                           e.kind, layout, onDie_.scalingRate,
+                           scratch))) {
                 keepEarliest(best,
                              {e.timeHours, "sdc-scaling-interaction",
                               obs::FailureClass::Sdc,
@@ -283,8 +328,9 @@ class SecdedScheme : public SchemeBase
                               obs::DetectionOutcome::DimmDetect,
                               faultKindBit(e)});
             } else if (onDie_.present && onDie_.scalingRate > 0 &&
-                       rng.bernoulli(bitClassSecdedDueProb(
-                           e.kind, layout, onDie_.scalingRate))) {
+                       rng.bernoulli(cachedSecdedDueProb(
+                           e.kind, layout, onDie_.scalingRate,
+                           scratch))) {
                 keepEarliest(best,
                              {e.timeHours, "due-scaling-interaction",
                               obs::FailureClass::Due,
@@ -406,8 +452,9 @@ class ChipkillScheme : public SchemeBase
             } else if (!onDie_.present) {
                 visible.push_back(e);
             } else if (onDie_.scalingRate > 0 &&
-                       rng.bernoulli(bitClassEscapeProb(
-                           e.kind, layout, onDie_.scalingRate))) {
+                       rng.bernoulli(cachedEscapeProb(
+                           e.kind, layout, onDie_.scalingRate,
+                           scratch))) {
                 visible.push_back(e);
             }
         }
@@ -482,8 +529,9 @@ class DoubleChipkillScheme : public SchemeBase
             if (multiBitPerWord(e.kind) || !onDie_.present) {
                 visible.push_back(e);
             } else if (onDie_.scalingRate > 0 &&
-                       rng.bernoulli(bitClassEscapeProb(
-                           e.kind, layout, onDie_.scalingRate))) {
+                       rng.bernoulli(cachedEscapeProb(
+                           e.kind, layout, onDie_.scalingRate,
+                           scratch))) {
                 visible.push_back(e);
             }
         }

@@ -32,6 +32,7 @@
 #include "ecc/hamming7264.hh"
 #include "ecc/reed_solomon.hh"
 #include "xed/chipkill_controller.hh"
+#include "xed/controller.hh"
 
 namespace
 {
@@ -239,6 +240,21 @@ TEST(CodecAllocation, BatchKernelsAllocationFreeAtEveryLevel)
     for (auto &symbol : gfSrc)
         symbol = static_cast<std::uint8_t>(rng.below(256));
 
+    // Buffers for the batched faulty-path kernels (DESIGN.md section
+    // 4j): RS syndromes/validity flags, transposed catch-word planes,
+    // and a staged RsWordBlock -- all sized before the counted window.
+    std::vector<std::uint8_t> syn(rs.numCheck() * soaCount);
+    std::vector<std::uint8_t> valid(soaCount);
+    std::vector<std::uint8_t> planes(9 * batch.size());
+    for (std::size_t c = 0; c < batch.size(); ++c) {
+        for (unsigned b = 0; b < 8; ++b)
+            planes[b * batch.size() + c] =
+                static_cast<std::uint8_t>(batch[c].lo >> (8 * b));
+        planes[8 * batch.size() + c] = batch[c].hi;
+    }
+    std::vector<std::uint8_t> catchSyn(batch.size());
+    RsWordBlock block(rs.n(), soaCount);
+
     for (const SimdLevel level : levels) {
         simdForceLevel(level, "test");
         const std::uint64_t before = allocations();
@@ -253,6 +269,25 @@ TEST(CodecAllocation, BatchKernelsAllocationFreeAtEveryLevel)
         observed += gfDst[0];
         observed += rs.countInvalidSoa(
             std::span<const std::uint8_t>(soa), soaCount);
+        rs.syndromesManySoa(std::span<const std::uint8_t>(soa),
+                            soaCount, std::span<std::uint8_t>(syn));
+        observed += rs.isValidCodewordMany(
+            std::span<const std::uint8_t>(soa), soaCount,
+            std::span<std::uint8_t>(valid));
+        crc.syndromeManySoa(planes.data(), batch.size(), batch.size(),
+                            catchSyn.data());
+        hamming.syndromeManySoa(planes.data(), batch.size(),
+                                batch.size(), catchSyn.data());
+        observed += catchSyn[0];
+        block.clear();
+        for (std::size_t c = 0; c < soaCount; ++c) {
+            const std::size_t col = block.openColumn();
+            for (unsigned i = 0; i < rs.n(); ++i)
+                block.setSymbol(i, col, soa[i * soaCount + c]);
+        }
+        rs.syndromesManySoa(block, std::span<std::uint8_t>(syn));
+        observed += rs.isValidCodewordMany(
+            block, std::span<std::uint8_t>(valid));
         EXPECT_EQ(allocations() - before, 0u)
             << simdLevelName(level) << " batch kernels allocated ("
             << observed << " observed)";
@@ -294,6 +329,71 @@ TEST(CodecAllocation, ChipkillReadPathSteadyStateIsAllocationFree)
     EXPECT_EQ(shortRun, longRun)
         << (longRun - shortRun)
         << " steady-state allocations leaked into 1800 extra reads";
+}
+
+TEST(CodecAllocation, ControllerReadManySteadyStateIsAllocationFree)
+{
+    // The batched read paths (DESIGN.md section 4j): the first
+    // readMany() call sizes the transposed staging planes; after that
+    // warm-up, batched reads -- including the scalar fallbacks for the
+    // faulty lines -- must not allocate at all.
+    using dram::WordAddr;
+    {
+        XedController controller;
+        std::vector<WordAddr> addrs;
+        for (unsigned i = 0; i < 96; ++i)
+            addrs.push_back({0, 5 + i / 64, i % 64});
+        dram::Fault fault;
+        fault.granularity = dram::FaultGranularity::SingleBit;
+        fault.permanent = true;
+        fault.addr = addrs[10];
+        fault.bitPos = 5;
+        controller.chip(2).faults().add(fault);
+        std::vector<LineReadResult> results(addrs.size());
+        controller.readMany(std::span<const WordAddr>(addrs),
+                            std::span<LineReadResult>(results));
+        const std::uint64_t before = allocations();
+        std::uint64_t clean = 0;
+        for (unsigned round = 0; round < 50; ++round) {
+            controller.readMany(std::span<const WordAddr>(addrs),
+                                std::span<LineReadResult>(results));
+            clean += results[0].outcome == ReadOutcome::Clean;
+        }
+        EXPECT_EQ(allocations() - before, 0u)
+            << "XedController::readMany allocated in steady state ("
+            << clean << " clean)";
+    }
+    {
+        ChipkillConfig config;
+        config.useCatchWordErasures = true;
+        ChipkillController controller(config);
+        std::vector<WordAddr> addrs;
+        for (unsigned i = 0; i < 96; ++i)
+            addrs.push_back({1, 7 + i / 64, i % 64});
+        std::vector<std::uint64_t> line(config.dataChips,
+                                        0x5A5A5A5Aull);
+        for (const WordAddr &addr : addrs)
+            controller.writeLine(addr, line);
+        dram::Fault fault;
+        fault.granularity = dram::FaultGranularity::SingleWord;
+        fault.permanent = true;
+        fault.addr = addrs[20];
+        fault.seed = 17;
+        controller.chip(4).faults().add(fault);
+        std::vector<ChipkillReadResult> results(addrs.size());
+        controller.readMany(std::span<const WordAddr>(addrs),
+                            std::span<ChipkillReadResult>(results));
+        const std::uint64_t before = allocations();
+        std::uint64_t clean = 0;
+        for (unsigned round = 0; round < 50; ++round) {
+            controller.readMany(std::span<const WordAddr>(addrs),
+                                std::span<ChipkillReadResult>(results));
+            clean += results[0].outcome == ChipkillOutcome::Clean;
+        }
+        EXPECT_EQ(allocations() - before, 0u)
+            << "ChipkillController::readMany allocated in steady state"
+            << " (" << clean << " clean)";
+    }
 }
 
 } // namespace
