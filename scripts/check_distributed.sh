@@ -3,7 +3,9 @@
 # ctest label (queue protocol + worker/merge byte-identity suites),
 # then the kill-and-reclaim fleet smoke (scripts/dist_smoke.sh) on the
 # fig07 spec -- a 4-worker run where worker 0 is SIGKILLed mid-shard
-# must still merge byte-identically to a single-process run.
+# must still merge byte-identically to a single-process run -- and the
+# observability smoke (scripts/status_smoke.sh): status/serve scraped
+# over a live fleet's queue directory without perturbing a byte of it.
 #
 # Usage: scripts/check_distributed.sh [build-dir]   (default: build)
 set -eu
@@ -23,5 +25,8 @@ XED_MC_SYSTEMS=${XED_MC_SYSTEMS:-30000}
 export XED_MC_SYSTEMS
 "$repo/scripts/dist_smoke.sh" "$build/src/campaign/xed_campaign" \
     "$repo/specs/fig07.json" "$build/dist_smoke"
+
+"$repo/scripts/status_smoke.sh" "$build/src/campaign/xed_campaign" \
+    "$repo/specs/status_smoke.json" "$build/status_smoke_check"
 
 echo "distributed check passed"

@@ -28,7 +28,15 @@ set(rejected
     "--lease-seconds|0"              # positive lifetimes only
     "--lease-seconds|-5"
     "--poll-interval|fast"
-    "--timeout|later")
+    "--timeout|later"
+    "--port|http"                    # status/serve flags parse strictly
+    "--port|-1"
+    "--port|65536"                   # one past the TCP range
+    "--port|1e4"
+    "--interval|never"
+    "--interval|0"                   # positive refresh periods only
+    "--interval|-2"
+    "--format|yaml")
 
 foreach(case IN LISTS rejected)
     string(REPLACE "|" ";" parts "${case}")

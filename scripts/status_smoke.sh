@@ -1,0 +1,105 @@
+#!/bin/sh
+# Observability smoke over the real CLI (DESIGN.md section 4k):
+#
+#   1. a 2-worker fleet drains a queue directory,
+#   2. `status --json` on the queue must be valid JSON (checkjson) and
+#      agree exactly -- shards, units, failures, specHash -- with
+#      `report --format=json` on a single-process run of the same spec,
+#   3. `serve --port 0` is scraped over a live socket: /status.json
+#      must parse and match, /metrics must carry the Prometheus
+#      HELP/TYPE preamble and the fleet counters,
+#   4. the queue directory must be byte-identical before and after all
+#      of the above: status is read-only by contract.
+#
+# Usage: scripts/status_smoke.sh <xed_campaign-binary> [spec] [workdir]
+set -eu
+
+cli=$1
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+spec=${2:-"$repo/specs/status_smoke.json"}
+work=${3:-"$(pwd)/status_smoke"}
+
+rm -rf "$work"
+mkdir -p "$work"
+queue="$work/queue"
+
+echo "status_smoke: draining the queue with 2 workers"
+for w in 0 1; do
+    "$cli" worker "$spec" --queue-dir "$queue" --worker-id "w$w" \
+        --lease-seconds 5 --poll-interval 0.1 --quiet &
+done
+wait
+
+echo "status_smoke: single-process reference run"
+"$cli" run "$spec" --out "$work/single.jsonl" --quiet >/dev/null
+
+# Everything below must never write into the queue.
+cp -r "$queue" "$work/queue.before"
+
+echo "status_smoke: status --json vs report --format=json"
+"$cli" status --queue-dir "$queue" --json > "$work/status.json"
+"$cli" checkjson "$work/status.json"
+"$cli" report "$work/single.jsonl" --format=json > "$work/report.json"
+"$cli" checkjson "$work/report.json"
+
+python3 - "$work/status.json" "$work/report.json" <<'EOF'
+import json, sys
+queue = json.load(open(sys.argv[1]))
+store = json.load(open(sys.argv[2]))
+for key in ("name", "specHash", "complete", "shards", "failures"):
+    assert queue[key] == store[key], (key, queue[key], store[key])
+assert queue["units"]["done"] == store["units"]["done"]
+assert queue["complete"] is True
+assert queue["shards"]["pending"] == 0
+assert queue["source"] == "queue" and store["source"] == "store"
+print("status_smoke: queue and store snapshots agree exactly")
+EOF
+
+echo "status_smoke: scraping serve endpoints"
+"$cli" serve --queue-dir "$queue" --port 0 > "$work/serve.port" \
+    2> "$work/serve.log" &
+server=$!
+# `serve` prints "port N" on stdout once bound.
+port=""
+tries=0
+while [ -z "$port" ] && [ "$tries" -lt 50 ]; do
+    port=$(awk '$1 == "port" { print $2 }' "$work/serve.port" \
+        2>/dev/null || true)
+    [ -n "$port" ] || { tries=$((tries + 1)); sleep 0.1; }
+done
+[ -n "$port" ] || { echo "status_smoke: serve never bound" >&2; exit 1; }
+
+fetch() {
+    if command -v curl >/dev/null 2>&1; then
+        curl -fsS "http://127.0.0.1:$port$1"
+    else
+        python3 -c 'import sys, urllib.request
+sys.stdout.write(urllib.request.urlopen(sys.argv[1]).read().decode())' \
+            "http://127.0.0.1:$port$1"
+    fi
+}
+
+fetch /status.json > "$work/served.json"
+"$cli" checkjson "$work/served.json"
+fetch /metrics > "$work/metrics.txt"
+
+kill -INT "$server" 2>/dev/null || true
+wait "$server" 2>/dev/null || true
+
+python3 - "$work/status.json" "$work/served.json" <<'EOF'
+import json, sys
+direct = json.load(open(sys.argv[1]))
+served = json.load(open(sys.argv[2]))
+for key in ("name", "specHash", "shards", "units", "failures"):
+    assert direct[key] == served[key], key
+print("status_smoke: /status.json matches status --json")
+EOF
+
+grep -q '^# TYPE xed_shards gauge$' "$work/metrics.txt"
+grep -q '^xed_campaign_complete 1$' "$work/metrics.txt"
+grep -q '^xed_units_done_total 16000$' "$work/metrics.txt"
+grep -q '^# TYPE xed_shard_seconds summary$' "$work/metrics.txt"
+echo "status_smoke: /metrics carries the fleet counters"
+
+diff -r "$work/queue.before" "$queue"
+echo "status_smoke: queue bytes untouched by status/serve, passed"

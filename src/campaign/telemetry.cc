@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include "common/build_info.hh"
+#include "obs/telemetry.hh"
 #include "obs/trace.hh"
 
 namespace xed::campaign
@@ -196,6 +197,19 @@ ProgressReporter::sample() const
     record.set("shardSeconds", quantilesJson(histogram("shard.seconds")));
     record.set("shardUnitsPerSec",
                quantilesJson(histogram("shard.unitsPerSec")));
+    // The exact sparse buckets ride along with the human-oriented
+    // quantiles: a fleet scanner merges every worker's real buckets
+    // (obs/telemetry.hh) and gets the same p50/p90/p99 one process
+    // observing all samples would report -- averaging per-worker
+    // quantiles could not.
+    const auto buckets = [](const Histogram *h) {
+        return h ? obs::histogramJson(*h) : json::Value::array();
+    };
+    auto hist = json::Value::object();
+    hist.set("shardSeconds", buckets(histogram("shard.seconds")));
+    hist.set("shardUnitsPerSec",
+             buckets(histogram("shard.unitsPerSec")));
+    record.set("hist", std::move(hist));
     auto failures = json::Value::object();
     for (const auto &[name, count] : counters) {
         constexpr const char prefix[] = "failed.";

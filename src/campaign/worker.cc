@@ -187,6 +187,13 @@ runWorker(const CampaignSpec &spec, const WorkerOptions &options)
 
     Heartbeat heartbeat(queue, options.leaseSeconds);
 
+    // Same shard-time distributions the single-process runner feeds:
+    // the per-worker telemetry carries their exact buckets, and the
+    // fleet status scanner merges every worker's into the fleet-wide
+    // p50/p90/p99.
+    Histogram &shardSeconds = registry.histogram("shard.seconds");
+    Histogram &shardRate = registry.histogram("shard.unitsPerSec");
+
     // -- Claim loop. Scans the plan repeatedly: committed shards are
     // skipped, leased shards are left to their holder, and the first
     // claimable shard is executed. When a full scan finds only
@@ -214,6 +221,7 @@ runWorker(const CampaignSpec &spec, const WorkerOptions &options)
             const ShardTask &task = plan.tasks[i];
             heartbeat.beating(i);
             ShardResult result;
+            const auto t0 = std::chrono::steady_clock::now();
             try {
                 XED_TRACE_SPAN_ARG(
                     spec.kind == CampaignKind::Reliability
@@ -232,6 +240,14 @@ runWorker(const CampaignSpec &spec, const WorkerOptions &options)
                 return outcome;
             }
             heartbeat.idle();
+            const double dt =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+            shardSeconds.update(dt);
+            if (dt > 0)
+                shardRate.update(
+                    static_cast<double>(task.end - task.begin) / dt);
             bool duplicate = false;
             if (!queue.commit(i,
                               fragmentBytesFor(spec, task, result,

@@ -15,6 +15,13 @@
  *                                               fragments into the
  *                                               canonical store
  *   xed_campaign report <result.jsonl>          render result tables
+ *                                               (--format=json: the
+ *                                               canonical status JSON)
+ *   xed_campaign status [<path>] [options]      one read-only fleet /
+ *                                               store snapshot (human
+ *                                               table or --json)
+ *   xed_campaign serve  [<path>] [options]      HTTP observer: /,
+ *                                               /status.json, /metrics
  *   xed_campaign checkjson <file.json>          strict-parse a JSON
  *                                               document (trace smoke)
  *   xed_campaign version                        print build provenance
@@ -54,6 +61,21 @@
  *   --poll-interval <s>     fragment poll period (default 0.5)
  *   --no-fsync              as above
  *
+ * Options for status/serve (the source is a queue directory or a
+ * result store, given positionally or via --queue-dir; both commands
+ * are strictly read-only -- they never claim leases or write into the
+ * queue):
+ *   --queue-dir <dir>       queue directory to observe
+ *   --lease-seconds <s>     liveness thresholds: a worker is live
+ *                           within s/2 of its last heartbeat, stale
+ *                           within s, dead beyond (default 60 --
+ *                           match the fleet's --lease-seconds)
+ *   --json                  status: canonical JSON instead of tables
+ *   --watch                 status: refresh until interrupted
+ *   --interval <s>          status --watch refresh period (default 2)
+ *   --port <n>              serve: TCP port (0 picks one; the bound
+ *                           port is printed to stdout either way)
+ *
  * All numeric option values parse strictly (common/env.hh): base-10,
  * no leading/trailing junk, no overflow, finite doubles only.
  * Malformed values are usage errors, never silently truncated.
@@ -67,18 +89,25 @@
  * errors.
  */
 
+#include <chrono>
 #include <climits>
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
+
+#include <unistd.h>
 
 #include "campaign/runner.hh"
 #include "campaign/spec.hh"
+#include "campaign/status.hh"
 #include "campaign/worker.hh"
 #include "common/build_info.hh"
 #include "common/env.hh"
 #include "common/json.hh"
+#include "obs/http.hh"
 
 using namespace xed;
 using namespace xed::campaign;
@@ -113,7 +142,15 @@ usage(std::ostream &os)
           "[--no-fsync]\n"
           "       xed_campaign fleet  <spec.json> [run options; spec "
           "kind must be \"fleet\"]\n"
-          "       xed_campaign report <result.jsonl>\n"
+          "       xed_campaign report <result.jsonl> "
+          "[--format=<text|json>]\n"
+          "       xed_campaign status [<path>] [--queue-dir <dir>] "
+          "[--json]\n"
+          "                           [--watch] [--interval <s>] "
+          "[--lease-seconds <s>]\n"
+          "       xed_campaign serve  [<path>] [--queue-dir <dir>] "
+          "[--port <n>]\n"
+          "                           [--lease-seconds <s>]\n"
           "       xed_campaign checkjson <file.json>\n"
           "       xed_campaign version\n";
     return 2;
@@ -157,6 +194,12 @@ struct CliArgs
     bool dryRun = false;
     bool quiet = false;
     bool explicitOut = false;
+    // status / serve / report
+    std::uint64_t port = 0;
+    double watchIntervalSeconds = 2.0;
+    bool watch = false;
+    bool jsonOut = false;
+    std::string format = "text";
 };
 
 bool
@@ -167,9 +210,16 @@ parseArgs(int argc, char **argv, CliArgs &args, std::string &error)
         return false;
     }
     args.command = argv[1];
-    args.path = argv[2];
+    // status/serve take their source from --queue-dir alone; every
+    // other command requires the positional path (enforced after the
+    // parse, where the command is known).
+    int first = 2;
+    if (argv[2][0] != '-') {
+        args.path = argv[2];
+        first = 3;
+    }
     args.options.progressIntervalSeconds = 1.0;
-    for (int i = 3; i < argc; ++i) {
+    for (int i = first; i < argc; ++i) {
         const std::string flag = argv[i];
         const auto value = [&]() -> const char * {
             if (i + 1 >= argc) {
@@ -287,6 +337,46 @@ parseArgs(int argc, char **argv, CliArgs &args, std::string &error)
             if (!f64Value(seconds))
                 return false;
             args.merge.timeoutSeconds = seconds;
+        } else if (flag == "--json") {
+            args.jsonOut = true;
+        } else if (flag == "--watch") {
+            args.watch = true;
+        } else if (flag == "--interval") {
+            double seconds = 0;
+            if (!f64Value(seconds))
+                return false;
+            if (seconds <= 0) {
+                error = flag + ": refresh interval must be positive";
+                return false;
+            }
+            args.watchIntervalSeconds = seconds;
+        } else if (flag == "--port") {
+            std::uint64_t port = 0;
+            if (!u64Value(port))
+                return false;
+            if (port > 65535) {
+                error = flag + ": " + std::to_string(port) +
+                        " is not a TCP port (0..65535)";
+                return false;
+            }
+            args.port = port;
+        } else if (flag == "--format" ||
+                   flag.rfind("--format=", 0) == 0) {
+            std::string v;
+            if (flag == "--format") {
+                const char *raw = value();
+                if (!raw)
+                    return false;
+                v = raw;
+            } else {
+                v = flag.substr(std::string("--format=").size());
+            }
+            if (v != "text" && v != "json") {
+                error = "--format: unknown format \"" + v +
+                        "\" (expected text or json)";
+                return false;
+            }
+            args.format = v;
         } else {
             error = "unknown option " + flag;
             return false;
@@ -352,6 +442,102 @@ mergeMain(const CampaignSpec &spec, CliArgs &args, std::string &error)
     return 0;
 }
 
+/** The queue dir or store the observability commands read. */
+std::string
+statusSource(const CliArgs &args)
+{
+    if (!args.path.empty())
+        return args.path;
+    return args.worker.queueDir;
+}
+
+StatusOptions
+statusOptionsOf(const CliArgs &args)
+{
+    StatusOptions options;
+    options.leaseSeconds = args.worker.leaseSeconds;
+    return options;
+}
+
+int
+statusMain(const CliArgs &args)
+{
+    const std::string source = statusSource(args);
+    if (source.empty()) {
+        std::cerr << "xed_campaign: status requires a queue directory "
+                     "or result store (positional or --queue-dir)\n";
+        return usage(std::cerr);
+    }
+    const StatusOptions options = statusOptionsOf(args);
+    for (;;) {
+        const FleetStatus status = scanStatusSource(source, options);
+        if (args.jsonOut) {
+            std::cout << json::dump(statusJson(status)) << "\n";
+        } else {
+            if (args.watch && isatty(STDOUT_FILENO))
+                std::cout << "\x1b[H\x1b[2J"; // clear for the refresh
+            printStatus(status, std::cout);
+        }
+        std::cout.flush();
+        if (!args.watch)
+            return status.ok ? 0 : 1;
+        if (!args.jsonOut)
+            std::cout << "\n";
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            args.watchIntervalSeconds));
+    }
+}
+
+// serve's signal handling needs a global: a signal handler can only
+// touch the async-signal-safe HttpServer::stop().
+obs::HttpServer *gServer = nullptr;
+
+extern "C" void
+serveStopHandler(int)
+{
+    if (gServer)
+        gServer->stop();
+}
+
+int
+serveMain(const CliArgs &args)
+{
+    const std::string source = statusSource(args);
+    if (source.empty()) {
+        std::cerr << "xed_campaign: serve requires a queue directory "
+                     "or result store (positional or --queue-dir)\n";
+        return usage(std::cerr);
+    }
+    const StatusOptions options = statusOptionsOf(args);
+    static obs::HttpServer server;
+    std::string error;
+    const auto handler = [source,
+                          options](const std::string &path) {
+        obs::HttpResponse response;
+        if (!statusEndpoint(path, source, options, &response.status,
+                            &response.contentType, &response.body))
+            response = obs::httpNotFound(path);
+        return response;
+    };
+    if (!server.start(static_cast<std::uint16_t>(args.port), handler,
+                      &error)) {
+        std::cerr << "xed_campaign: " << error << "\n";
+        return 1;
+    }
+    gServer = &server;
+    std::signal(SIGINT, serveStopHandler);
+    std::signal(SIGTERM, serveStopHandler);
+    // The bound port goes to stdout (and is flushed) so a script that
+    // asked for --port 0 can scrape the server it just spawned.
+    std::cout << "port " << server.port() << "\n" << std::flush;
+    std::cerr << "xed_campaign: serving " << source
+              << " on http://localhost:" << server.port()
+              << "/ (endpoints: /, /status.json, /metrics)\n";
+    const std::uint64_t served = server.run();
+    std::cerr << "xed_campaign: served " << served << " requests\n";
+    return 0;
+}
+
 } // namespace
 
 int
@@ -371,7 +557,31 @@ main(int argc, char **argv)
         return usage(std::cerr);
     }
 
+    // The observability commands are the only ones whose source may
+    // come from --queue-dir instead of the positional path.
+    if (args.command == "status")
+        return statusMain(args);
+    if (args.command == "serve")
+        return serveMain(args);
+    if (args.path.empty()) {
+        // Flags-only invocation of a command that needs its
+        // positional path (e.g. `run --dry-run`).
+        std::cerr << "xed_campaign: missing path argument\n";
+        return usage(std::cerr);
+    }
+
     if (args.command == "report") {
+        if (args.format == "json") {
+            // The same canonical schema `status --json` and the
+            // server's /status.json emit, so post-run reports diff
+            // cleanly against live snapshots.
+            const FleetStatus status =
+                scanStore(args.path, statusOptionsOf(args));
+            std::cout << json::dump(statusJson(status)) << "\n";
+            if (!status.ok)
+                std::cerr << "xed_campaign: " << status.error << "\n";
+            return status.ok ? 0 : 1;
+        }
         if (!printReport(args.path, std::cout, &error)) {
             std::cerr << "xed_campaign: " << error << "\n";
             return 1;

@@ -85,6 +85,15 @@ class Histogram
             1, std::memory_order_relaxed);
     }
 
+    /** Add @p count samples directly to bucket @p index (< bucketCount).
+     *  The telemetry wire codec (obs/telemetry.hh) replays serialized
+     *  buckets through this so a decode-and-merge is exactly
+     *  Histogram::merge, with no value-to-index re-derivation. */
+    void addCount(unsigned index, std::uint64_t count)
+    {
+        buckets_[index].fetch_add(count, std::memory_order_relaxed);
+    }
+
     /** Fold @p other in (relaxed reads; exact integer addition). */
     void merge(const Histogram &other);
 
